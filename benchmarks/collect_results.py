@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Rebuild EXPERIMENTS.md's measured-tables section from results/*.txt.
+
+Run after a benchmark pass::
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/collect_results.py
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS = os.path.join(HERE, "results")
+EXPERIMENTS = os.path.join(HERE, "..", "EXPERIMENTS.md")
+MARKER = "<!-- MEASURED-TABLES -->"
+
+ORDER = [
+    "fig08_webspam",
+    "fig09_twitter",
+    "fig10_wikilink",
+    "fig11_arabic",
+    "fig12_powerlaw_nodes",
+    "fig13_random_nodes",
+    "fig14_powerlaw_degree",
+    "fig15_random_degree",
+    "fig16_powerlaw_memory",
+    "fig17_random_memory",
+    "fig18_powerlawness",
+    "fig19_start_node",
+    "ablation_locality",
+    "ablation_cut_tree",
+    "ablation_batch",
+    "ablation_block_size",
+]
+
+
+def main() -> int:
+    if not os.path.isdir(RESULTS):
+        print(f"no results directory at {RESULTS}; run the benchmarks first",
+              file=sys.stderr)
+        return 1
+    sections = []
+    for slug in ORDER:
+        path = os.path.join(RESULTS, f"{slug}.txt")
+        if not os.path.exists(path):
+            print(f"warning: missing {slug}.txt", file=sys.stderr)
+            continue
+        with open(path, encoding="utf-8") as handle:
+            body = handle.read().rstrip()
+        sections.append(f"### `{slug}`\n\n```\n{body}\n```\n")
+
+    with open(EXPERIMENTS, encoding="utf-8") as handle:
+        text = handle.read()
+    if MARKER not in text:
+        print(f"marker {MARKER!r} not found in EXPERIMENTS.md", file=sys.stderr)
+        return 1
+    head = text.split(MARKER)[0]
+    new_text = head + MARKER + "\n\n" + "\n".join(sections)
+    with open(EXPERIMENTS, "w", encoding="utf-8") as handle:
+        handle.write(new_text)
+    print(f"EXPERIMENTS.md updated with {len(sections)} measured tables")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

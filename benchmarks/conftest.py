@@ -1,0 +1,67 @@
+"""Shared infrastructure for the paper-figure benchmarks.
+
+Every benchmark renders its series in the paper's two-panel shape; the
+tables are (a) written to ``benchmarks/results/<name>.txt`` and
+``<name>.csv``, and (b) echoed into the terminal summary so they appear in
+a plain ``pytest benchmarks/ --benchmark-only`` run without ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+from repro.bench import render_csv, render_experiment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_collected: List[Tuple[str, str]] = []
+
+
+@pytest.fixture
+def report_series():
+    """Render, persist, and queue a series for the terminal summary.
+
+    Usage::
+
+        rows = exp2_vary_nodes("power-law")
+        report_series("fig12_powerlaw_vary_nodes", "Fig.12 ...", "|V|", rows)
+    """
+
+    def _report(slug: str, title: str, x_label: str, rows) -> str:
+        text = render_experiment(title, rows, x_label)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        with open(os.path.join(RESULTS_DIR, f"{slug}.csv"), "w") as handle:
+            handle.write(render_csv(rows) + "\n")
+        _collected.append((slug, text))
+        return text
+
+    return _report
+
+
+@pytest.fixture
+def report_text():
+    """Persist and queue a free-form table (ablations with custom columns)."""
+
+    def _report(slug: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        _collected.append((slug, text))
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _collected:
+        return
+    terminalreporter.write_sep("=", "paper-figure series (also in benchmarks/results/)")
+    for slug, text in _collected:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

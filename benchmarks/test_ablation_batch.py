@@ -1,0 +1,41 @@
+"""Ablation: batch capacity vs SEMI-DFS behaviour (paper §4.1, point 3).
+
+A finer memory ladder than Exp-4, run only on the SEMI-DFS baseline, to
+expose the chain effect: smaller batches -> more batches per pass -> more
+passes before convergence.
+"""
+
+from repro.bench import default_nodes, synthetic_edges
+from repro.bench.harness import run_cell
+
+
+def run_batch_ablation():
+    node_count = max(64, default_nodes() // 2)
+    edges = list(synthetic_edges("power-law", node_count, 5))
+    rows = []
+    for slack_ratio in [0.3, 0.6, 1.2, 2.4, 4.8]:
+        memory = int(node_count * (3 + slack_ratio))
+        rows.append(
+            run_cell(
+                x=f"{slack_ratio:.1f}n",
+                algorithm="edge-by-batch",
+                node_count=node_count,
+                edges=edges,
+                memory=memory,
+            )
+        )
+    return rows
+
+
+def test_ablation_batch_capacity(benchmark, report_series):
+    rows = benchmark.pedantic(run_batch_ablation, rounds=1, iterations=1)
+    report_series(
+        "ablation_batch",
+        "Ablation: SEMI-DFS vs batch capacity (memory slack beyond 3n)",
+        "batch slack",
+        rows,
+    )
+    finished = [r for r in rows if not r.dnf]
+    if len(finished) >= 2:
+        # more memory must never cost more passes
+        assert finished[-1].passes <= finished[0].passes or finished[0].dnf

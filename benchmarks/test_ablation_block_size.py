@@ -1,0 +1,39 @@
+"""Ablation: EM-model sanity — I/O count scales as 1/B with block size."""
+
+from repro.bench import default_nodes, synthetic_edges
+from repro.bench.harness import run_cell
+
+
+def run_block_size_ablation():
+    node_count = max(64, default_nodes() // 2)
+    memory = int(node_count * 4.2)
+    edges = list(synthetic_edges("power-law", node_count, 5))
+    rows = []
+    for block_elements in [512, 1024, 2048, 4096, 8192]:
+        rows.append(
+            run_cell(
+                x=block_elements,
+                algorithm="divide-td",
+                node_count=node_count,
+                edges=edges,
+                memory=memory,
+                block_elements=block_elements,
+            )
+        )
+    return rows
+
+
+def test_ablation_block_size(benchmark, report_series):
+    rows = benchmark.pedantic(run_block_size_ablation, rounds=1, iterations=1)
+    report_series(
+        "ablation_block_size",
+        "Ablation: Divide-TD I/O vs block size B (elements per block)",
+        "B",
+        rows,
+    )
+    finished = [r for r in rows if not r.dnf]
+    # Halving B must roughly double the I/O count (same workload).  Only
+    # meaningful once the files span enough blocks for the ratio to show.
+    by_block = {r.x: r.ios for r in finished}
+    if by_block.get(4096, 0) >= 20 and 512 in by_block:
+        assert by_block[512] > 3 * by_block[4096]

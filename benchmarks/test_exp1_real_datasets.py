@@ -1,0 +1,44 @@
+"""Exp-1 (Figs. 8–11): the four real-dataset stand-ins, varying |E| kept.
+
+Paper shape to reproduce: Divide-TD best everywhere; Divide-Star between;
+SEMI-DFS worst — DNF on webspam even at 20%, DNF on twitter beyond 40%,
+and all approaches equal on wikilink below 40% (the graph fits in memory).
+"""
+
+from repro.bench import exp1_real_dataset
+
+
+def test_fig8_webspam(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp1_real_dataset("webspam-uk2007"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig08_webspam", "Fig.8 webspam-uk2007 (vary % of |E|)", "|E| kept", rows
+    )
+
+
+def test_fig9_twitter(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp1_real_dataset("twitter-2010"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig09_twitter", "Fig.9 twitter-2010 (vary % of |E|)", "|E| kept", rows
+    )
+
+
+def test_fig10_wikilink(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp1_real_dataset("wikilink"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig10_wikilink", "Fig.10 wikilink (vary % of |E|)", "|E| kept", rows
+    )
+
+
+def test_fig11_arabic(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp1_real_dataset("arabic-2005"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig11_arabic", "Fig.11 arabic-2005 (vary % of |E|)", "|E| kept", rows
+    )

@@ -1,0 +1,25 @@
+"""Exp-2 (Figs. 12–13): vary |V| on power-law and random graphs.
+
+Paper shape: all costs grow with |V|; SEMI-DFS grows fastest and DNFs
+beyond the 50k point (paper: 50M); Divide-TD grows slowest; Divide-Star
+grows faster on random graphs than on power-law graphs (even edge
+distribution -> larger leftover subgraphs).
+"""
+
+from repro.bench import exp2_vary_nodes
+
+
+def test_fig12_powerlaw(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp2_vary_nodes("power-law"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig12_powerlaw_nodes", "Fig.12 power-law (vary |V|)", "|V|", rows
+    )
+
+
+def test_fig13_random(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp2_vary_nodes("random"), rounds=1, iterations=1
+    )
+    report_series("fig13_random_nodes", "Fig.13 random (vary |V|)", "|V|", rows)

@@ -1,0 +1,25 @@
+"""Exp-3 (Figs. 14–15): vary the average degree from 3 to 7.
+
+Paper shape: SEMI-DFS DNFs for degree > 5; divide & conquer costs grow
+slowly and stay stable as |E| grows.
+"""
+
+from repro.bench import exp3_vary_degree
+
+
+def test_fig14_powerlaw(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp3_vary_degree("power-law"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig14_powerlaw_degree", "Fig.14 power-law (vary degree)", "degree", rows
+    )
+
+
+def test_fig15_random(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp3_vary_degree("random"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig15_random_degree", "Fig.15 random (vary degree)", "degree", rows
+    )

@@ -1,0 +1,27 @@
+"""Exp-4 (Figs. 16–17): vary the memory budget (the 0.5–1.5 "GB" ladder).
+
+Paper shape: SEMI-DFS DNFs below the 1 GB point; Divide-TD's cost falls
+sharply with more memory (a bigger S-Graph divides the graph into more
+parts); Divide-Star improves more slowly (its S-Graph size cannot grow
+with memory); the SEMI-DFS gap widens as memory shrinks.
+"""
+
+from repro.bench import exp4_vary_memory
+
+
+def test_fig16_powerlaw(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp4_vary_memory("power-law"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig16_powerlaw_memory", "Fig.16 power-law (vary memory)", "memory", rows
+    )
+
+
+def test_fig17_random(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp4_vary_memory("random"), rounds=1, iterations=1
+    )
+    report_series(
+        "fig17_random_memory", "Fig.17 random (vary memory)", "memory", rows
+    )

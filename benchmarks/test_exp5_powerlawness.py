@@ -1,0 +1,15 @@
+"""Exp-5 (Fig. 18): vary the power-law-ness |A|/D from 0.25 to 4.
+
+Paper shape: divide & conquer costs rise only slightly with A (dividing
+high-degree nodes costs a little more); SEMI-DFS rises faster (larger
+intermediate results spill to disk).
+"""
+
+from repro.bench import exp5_power_law_ness
+
+
+def test_fig18_powerlawness(benchmark, report_series):
+    rows = benchmark.pedantic(exp5_power_law_ness, rounds=1, iterations=1)
+    report_series(
+        "fig18_powerlawness", "Fig.18 power-law (vary |A|/D)", "|A|/D", rows
+    )

@@ -1,0 +1,21 @@
+"""Exp-6 (Fig. 19): sensitivity to the start node's degree.
+
+Nodes are split into five degree quintiles; each cell averages runs
+started from random nodes of one quintile.  Paper shape: Divide-Star's
+cost grows very slightly with the start node's degree (the S-Graph gets
+more expensive to compute but never dominates); Divide-TD is insensitive.
+"""
+
+from repro.bench import exp6_start_node
+
+
+def test_fig19_start_node(benchmark, report_series):
+    rows = benchmark.pedantic(
+        lambda: exp6_start_node(repetitions=3), rounds=1, iterations=1
+    )
+    report_series(
+        "fig19_start_node",
+        "Fig.19 power-law (vary start-node degree partition)",
+        "degree partition",
+        rows,
+    )

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scenario: community structure of a follower network on disk.
+
+The twitter-2010 dataset is the paper's hardest instance: one SCC covers
+80.4% of its users, which defeats the root-children division.  This
+example runs the same analysis on the twitter stand-in:
+
+1. semi-external Kosaraju (two DFS passes) extracts the SCCs and finds
+   the planted giant component;
+2. weakly connected components come from a single union-find scan;
+3. the example contrasts Divide-Star and Divide-TD on this SCC-heavy
+   graph — the comparison behind the paper's Fig. 9.
+
+Run:  python examples/social_reachability.py
+"""
+
+from repro import BlockDevice, DiskGraph, semi_external_dfs
+from repro.apps import strongly_connected_components, weakly_connected_components
+from repro.graph import twitter2010_like
+
+
+def main() -> None:
+    spec = twitter2010_like(scale=0.25)
+    with BlockDevice() as device:
+        graph = DiskGraph.from_edges(
+            device, spec.node_count, spec.edges(), validate=False
+        )
+        memory = 3 * spec.node_count + graph.edge_count // 8
+        print(f"follower graph '{spec.name}': {graph.node_count} users, "
+              f"{graph.edge_count} follow edges")
+
+        weak = weakly_connected_components(graph)
+        print(f"\nweak components: {len(weak)} "
+              f"(largest {len(weak[0])} users)")
+
+        sccs = strongly_connected_components(graph, memory)
+        giant = len(sccs[0])
+        print(f"strong components: {len(sccs)}; giant SCC covers "
+              f"{giant}/{graph.node_count} users "
+              f"({giant / graph.node_count:.1%} — the paper reports 80.4% "
+              "for twitter-2010)")
+
+        print("\nDivide-Star vs Divide-TD on the SCC-heavy graph:")
+        for algorithm in ["divide-star", "divide-td"]:
+            result = semi_external_dfs(graph, memory, algorithm=algorithm)
+            print(f"  {algorithm:12s} time={result.elapsed_seconds:6.2f}s "
+                  f"I/Os={result.io.total:6d} passes={result.passes:3d} "
+                  f"divisions={result.divisions}")
+
+
+if __name__ == "__main__":
+    main()

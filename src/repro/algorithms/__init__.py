@@ -1,0 +1,34 @@
+"""Semi-external DFS algorithms: the two Sibeyn-et-al. baselines and the
+paper's divide & conquer family (Divide-Star, Divide-TD)."""
+
+from .base import DFSResult, default_max_passes, initial_star_tree
+from .cut_tree import build_cut_tree, star_cut
+from .divide_conquer import divide_star_dfs, divide_td_dfs
+from .division import Division, Part, divide_with_cut
+from .edge_by_batch import edge_by_batch
+from .edge_by_edge import edge_by_edge
+from .merge import merge_division, splice_non_root_virtuals
+from .restructure import RestructureOutcome, restructure
+from .sgraph import SummaryGraph, contract_sigma_sccs, s_edge_endpoints
+
+__all__ = [
+    "DFSResult",
+    "Division",
+    "Part",
+    "RestructureOutcome",
+    "SummaryGraph",
+    "build_cut_tree",
+    "contract_sigma_sccs",
+    "default_max_passes",
+    "divide_star_dfs",
+    "divide_td_dfs",
+    "divide_with_cut",
+    "edge_by_batch",
+    "edge_by_edge",
+    "initial_star_tree",
+    "merge_division",
+    "restructure",
+    "s_edge_endpoints",
+    "splice_non_root_virtuals",
+    "star_cut",
+]

@@ -1,0 +1,178 @@
+"""Shared result type and run context for the semi-external algorithms.
+
+Every algorithm takes a :class:`~repro.graph.disk_graph.DiskGraph` plus a
+memory budget ``M`` (in elements, ``k·n <= M``) and produces a
+:class:`DFSResult`: the DFS-Tree, the DFS total order it induces, and the
+measured costs (simulated block I/Os, restructure passes, divisions).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import MemoryBudgetExceeded
+from ..graph.disk_graph import DiskGraph
+from ..storage.buffer_pool import TREE_NODE_COST, MemoryBudget
+from ..storage.io_stats import IOSnapshot
+from ..core.tree import SpanningTree, VirtualNodeAllocator
+from ..core.validation import real_preorder
+
+
+@dataclass
+class DFSResult:
+    """The output of a semi-external DFS run.
+
+    Attributes:
+        tree: the computed DFS-Tree (rooted at the virtual node ``γ``; its
+            non-virtual preorder is the DFS total order).
+        order: DFS total order over the real nodes.
+        algorithm: name of the algorithm that produced the result.
+        io: simulated block I/Os consumed by the run.
+        elapsed_seconds: wall-clock time of the run.
+        passes: restructure passes (full or partial edge-file scans).
+        divisions: successful divisions performed (divide & conquer only).
+        max_depth: deepest recursion level reached (divide & conquer only).
+        details: free-form per-algorithm counters.
+        trace: per-recursion-level event records (populated when the
+            algorithm is invoked with ``trace=True``).
+    """
+
+    tree: SpanningTree
+    order: List[int]
+    algorithm: str
+    io: IOSnapshot
+    elapsed_seconds: float
+    passes: int = 0
+    divisions: int = 0
+    max_depth: int = 0
+    details: Dict[str, int] = field(default_factory=dict)
+    trace: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def virtual_root(self) -> Optional[int]:
+        """The ``γ`` node the result tree is rooted at."""
+        return self.tree.root
+
+    def position_of(self) -> Dict[int, int]:
+        """Map node -> position in the DFS total order."""
+        return {node: index for index, node in enumerate(self.order)}
+
+
+class RunContext:
+    """Mutable bookkeeping shared by one algorithm invocation."""
+
+    def __init__(
+        self,
+        graph: DiskGraph,
+        memory: int,
+        algorithm: str,
+        deadline_seconds: Optional[float] = None,
+    ) -> None:
+        minimum = TREE_NODE_COST * graph.node_count
+        if memory < minimum:
+            raise MemoryBudgetExceeded(
+                f"semi-external model needs M >= {TREE_NODE_COST}*|V| = {minimum}; "
+                f"got M = {memory}"
+            )
+        self.graph = graph
+        self.memory = memory
+        self.algorithm = algorithm
+        self.budget = MemoryBudget(memory)
+        self.allocator = VirtualNodeAllocator(graph.node_count)
+        self.passes = 0
+        self.divisions = 0
+        self.max_depth = 0
+        self.details: Dict[str, int] = {}
+        self.trace: list = []
+        self.trace_enabled = False
+        self._start_io = graph.device.stats.snapshot()
+        self._start_time = time.perf_counter()
+        self._deadline = (
+            None
+            if deadline_seconds is None
+            else self._start_time + deadline_seconds
+        )
+
+    def check_deadline(self) -> None:
+        """Raise :class:`ConvergenceError` when the wall-clock limit passed.
+
+        The cooperative analogue of the paper's 8-hour experiment timeout;
+        checked once per restructure pass.
+        """
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            from ..errors import ConvergenceError
+
+            raise ConvergenceError(
+                f"{self.algorithm} exceeded its wall-clock deadline"
+            )
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment a free-form counter."""
+        self.details[key] = self.details.get(key, 0) + amount
+
+    def record(self, event: str, **fields: object) -> None:
+        """Append a structured trace event (no-op unless tracing is on)."""
+        if self.trace_enabled:
+            entry: Dict[str, object] = {"event": event}
+            entry.update(fields)
+            self.trace.append(entry)
+
+    def finish(self, tree: SpanningTree) -> DFSResult:
+        """Package the final tree into a :class:`DFSResult`."""
+        io = self.graph.device.stats.snapshot() - self._start_io
+        elapsed = time.perf_counter() - self._start_time
+        return DFSResult(
+            tree=tree,
+            order=real_preorder(tree),
+            algorithm=self.algorithm,
+            io=io,
+            elapsed_seconds=elapsed,
+            passes=self.passes,
+            divisions=self.divisions,
+            max_depth=self.max_depth,
+            details=dict(self.details),
+            trace=list(self.trace),
+        )
+
+
+def initial_star_tree(
+    graph: DiskGraph,
+    allocator: VirtualNodeAllocator,
+    start: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+) -> SpanningTree:
+    """The paper's initial spanning tree: virtual ``γ`` over all nodes.
+
+    Args:
+        start: optional start node for the DFS; it becomes ``γ``'s first
+            child so the search begins there (the Exp-6 treatment).
+        order: optional full restart-priority order for ``γ``'s children
+            (mutually exclusive with ``start``).  The baselines preserve
+            this priority across restructuring — the property Kosaraju's
+            second pass needs.
+    """
+    gamma = allocator.allocate()
+    node_ids: Sequence[int] = range(graph.node_count)
+    if order is not None:
+        if start is not None:
+            raise ValueError("pass either start or order, not both")
+        return SpanningTree.initial_star(node_ids, gamma, order=order)
+    if start is None:
+        return SpanningTree.initial_star(node_ids, gamma)
+    if not 0 <= start < graph.node_count:
+        raise ValueError(f"start node {start} out of range")
+    first = [start] + [node for node in node_ids if node != start]
+    return SpanningTree.initial_star(node_ids, gamma, order=first)
+
+
+def default_max_passes(node_count: int) -> int:
+    """Pass cap for the restructuring heuristics.
+
+    Sibeyn et al.'s procedures are heuristics with an ``n``-pass worst case;
+    in practice they converge in a handful of passes.  The cap exists so a
+    pathological input raises :class:`~repro.errors.ConvergenceError`
+    instead of looping for hours (the paper used an 8-hour timeout).
+    """
+    return 2 * node_count + 16

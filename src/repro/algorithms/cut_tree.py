@@ -1,0 +1,95 @@
+"""Cut-tree construction (Definition 6.5) for Divide-TD.
+
+A cut-tree ``T_c`` is a top fragment of the spanning tree: it contains the
+root, and every non-leaf node of ``T_c`` contributes *all* of its tree
+children (condition (2) — needed so that any S-edge whose LCA is a non-leaf
+cut node lands with both endpoints inside ``T_c``).
+
+:func:`build_cut_tree` grows ``T_c`` under the paper's memory rule — the
+S-Graph over ``T_c`` has at most ``|V(T_c)|²`` edges, so growth stops
+before ``|V(T_c)|²`` exceeds the budget granted to Σ.
+
+Divide-Star's cut (:func:`star_cut`) is the first-branching-node special
+case: descend the single-child spine from the root and expand exactly one
+sibling group.  ``build_cut_tree`` always *contains* that cut before any
+budgeted growth, because the paper presents Divide-TD as a strict
+generalization of Divide-Star.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Set, Tuple
+
+from ..core.tree import SpanningTree
+
+
+def build_cut_tree(tree: SpanningTree, sigma_budget: int) -> Tuple[Set[int], Set[int]]:
+    """Grow a cut-tree from the root within ``|V(T_c)|² <= sigma_budget``.
+
+    The cut always contains at least the Divide-Star cut (the single-child
+    spine from the root plus the first branching node's full sibling
+    group) — Divide-TD is the paper's *generalization* of Divide-Star, so
+    its cut must never be strictly weaker.  Beyond that mandatory core the
+    cut grows breadth-first while ``|V(T_c)|²`` stays within the Σ budget.
+
+    Returns:
+        ``(cut_nodes, expanded)`` — the cut-tree's node set and the subset
+        whose children were pulled in (the non-leaves of ``T_c``).
+    """
+    root = tree.root
+    if root is None:
+        return set(), set()
+    budget = max(sigma_budget, 4)
+
+    # Mandatory core: the Divide-Star cut, budget-exempt.  The frontier
+    # follows preorder so growth is deterministic and level-ish.
+    cut_nodes, expanded = star_cut(tree)
+    frontier = deque(
+        node
+        for node in tree.preorder()
+        if node in cut_nodes and node not in expanded
+    )
+    while frontier:
+        node = frontier.popleft()
+        children = tree.child_list(node)
+        if not children:
+            continue
+        grown = len(cut_nodes) + len(children)
+        if grown * grown > budget:
+            break
+        expanded.add(node)
+        for child in children:
+            cut_nodes.add(child)
+            frontier.append(child)
+    return cut_nodes, expanded
+
+
+def star_cut(tree: SpanningTree) -> Tuple[Set[int], Set[int]]:
+    """The Divide-Star cut: the first *branching* node plus its children.
+
+    The paper's examples divide at a root with several children (Fig. 5's
+    node A); under the virtual root ``γ`` a connected graph leaves ``γ``
+    with a single child, where a literal one-level star can never divide.
+    Descending the single-child spine to the first node with two or more
+    children recovers the intended division without expanding anything
+    beyond one sibling group.
+    """
+    root = tree.root
+    if root is None:
+        return set(), set()
+    cut_nodes = {root}
+    expanded: Set[int] = set()
+    node = root
+    while True:
+        children = tree.child_list(node)
+        if not children:
+            break
+        expanded.add(node)
+        cut_nodes.update(children)
+        if len(children) > 1:
+            break
+        node = children[0]
+    if not expanded or len(cut_nodes) <= 1:
+        return cut_nodes, set()
+    return cut_nodes, expanded

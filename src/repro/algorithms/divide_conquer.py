@@ -1,0 +1,228 @@
+"""``DivideConquerDFS`` (Algorithm 2): the paper's main contribution.
+
+The recursive procedure over a subgraph on disk:
+
+* **base case** — the subgraph fits in memory (``|G_i| <= M``): load it and
+  run the in-memory tree-preferring DFS once;
+* otherwise alternate **Restructure** passes with **division attempts**
+  (Divide-Star or Divide-TD).  A pass that finds no forward-cross edge
+  means the current tree already is a DFS-Tree; a valid division
+  (``p > 1`` parts) recurses into each part — each part's restructure scans
+  only that part's (much smaller) edge file — and the part DFS-Trees are
+  reassembled by :func:`~repro.algorithms.merge.merge_division`.
+
+Invariant maintained everywhere (and checked by the test suite): every
+tree edge whose parent is a real node is a real graph edge, so the final
+tree is a genuine DFS forest of ``G`` under the virtual root ``γ``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import ConvergenceError
+from ..graph.disk_graph import DiskGraph
+from ..storage.buffer_pool import MemoryBudget
+from ..storage.edge_file import EdgeFile
+from ..core.inmemory import dfs_preferring_tree
+from ..core.tree import SpanningTree
+from .base import DFSResult, RunContext, default_max_passes, initial_star_tree
+from .cut_tree import build_cut_tree, star_cut
+from .division import divide_with_cut
+from .merge import merge_division, splice_non_root_virtuals
+from .restructure import restructure
+
+#: A cut strategy maps (tree, memory budget) -> (cut_nodes, expanded).
+CutStrategy = Callable[[SpanningTree, MemoryBudget], Tuple[Set[int], Set[int]]]
+
+
+def star_strategy(tree: SpanningTree, budget: MemoryBudget) -> Tuple[Set[int], Set[int]]:
+    """Divide-Star's cut: the root and its children (Algorithm 3)."""
+    return star_cut(tree)
+
+
+def td_strategy(tree: SpanningTree, budget: MemoryBudget) -> Tuple[Set[int], Set[int]]:
+    """Divide-TD's cut: a multi-level cut-tree sized so the S-Graph fits in
+    the memory left next to the spanning tree (Algorithm 4)."""
+    return build_cut_tree(tree, sigma_budget=budget.available)
+
+
+def _solve_in_memory(
+    edge_file: EdgeFile, tree: SpanningTree, context: RunContext
+) -> SpanningTree:
+    """Base case: ``|G_i| <= M`` — load the edges and DFS once in memory."""
+    extra: Dict[int, List[int]] = {}
+    for u, v in edge_file.scan():
+        if u == v:
+            continue
+        targets = extra.get(u)
+        if targets is None:
+            extra[u] = [v]
+        else:
+            targets.append(v)
+    context.bump("inmemory_solves")
+    return dfs_preferring_tree(tree, extra)
+
+
+def _divide_conquer(
+    edge_file: EdgeFile,
+    real_node_count: int,
+    tree: SpanningTree,
+    context: RunContext,
+    strategy: CutStrategy,
+    depth: int,
+    owns_file: bool,
+    pass_limit: int,
+) -> SpanningTree:
+    """Recursive body of Algorithm 2 (its DivideConquer procedure)."""
+    if depth > context.max_depth:
+        context.max_depth = depth
+    size = real_node_count + edge_file.edge_count
+
+    if size <= context.memory:
+        context.record(
+            "inmemory", depth=depth, nodes=real_node_count,
+            edges=edge_file.edge_count,
+        )
+        result = _solve_in_memory(edge_file, tree, context)
+        if owns_file:
+            edge_file.delete()
+        return result
+
+    budget = MemoryBudget(context.memory)
+    budget.charge("tree", budget.tree_charge(real_node_count))
+
+    division = None
+    level_passes = 0
+    next_attempt = 1
+    while division is None:
+        context.check_deadline()
+        outcome = restructure(edge_file, tree, budget)
+        tree = outcome.tree
+        context.passes += 1
+        level_passes += 1
+        context.bump("batches", outcome.batches)
+        context.record(
+            "restructure", depth=depth, nodes=real_node_count,
+            edges=edge_file.edge_count, batches=outcome.batches,
+            update=outcome.update,
+        )
+        if not outcome.update:
+            # No forward-cross edge anywhere: the tree is a DFS-Tree.
+            splice_non_root_virtuals(tree)
+            if owns_file:
+                edge_file.delete()
+            return tree
+        if context.passes >= pass_limit:
+            raise ConvergenceError(
+                f"divide & conquer exceeded {pass_limit} restructure passes"
+            )
+        # Divide as early as possible (paper §4.2), but back off after
+        # failed attempts: a failed attempt costs a full scan, and on
+        # hard-to-divide graphs (one giant SCC) paying it every pass would
+        # let the baseline win on I/O.  The gap doubles up to a cap of 8
+        # passes, bounding the overhead at ~12% while still catching a
+        # division within 8 passes of it becoming possible.
+        if level_passes < next_attempt:
+            continue
+        cut_nodes, expanded = strategy(tree, budget)
+        division = divide_with_cut(
+            edge_file, tree, cut_nodes, expanded, context.allocator
+        )
+        context.bump("division_attempts")
+        if division is None:
+            next_attempt = level_passes + min(max(level_passes, 1), 8)
+
+    context.divisions += 1
+    context.bump("parts_created", division.part_count)
+    context.record(
+        "division", depth=depth, nodes=real_node_count,
+        parts=division.part_count, contractions=division.contractions,
+        part_sizes=sorted((p.size for p in division.parts), reverse=True),
+    )
+    if owns_file:
+        edge_file.delete()  # the parts and Σ fully replace this file
+
+    part_trees: List[SpanningTree] = []
+    for part in division.parts:
+        part_trees.append(
+            _divide_conquer(
+                part.edge_file,
+                len(part.real_nodes),
+                part.tree,
+                context,
+                strategy,
+                depth + 1,
+                owns_file=True,
+                pass_limit=pass_limit,
+            )
+        )
+    return merge_division(division, part_trees)
+
+
+def _run(
+    graph: DiskGraph,
+    memory: int,
+    strategy: CutStrategy,
+    name: str,
+    start: Optional[int],
+    max_passes: Optional[int],
+    deadline_seconds: Optional[float],
+    trace: bool,
+) -> DFSResult:
+    context = RunContext(graph, memory, name, deadline_seconds)
+    context.trace_enabled = trace
+    tree = initial_star_tree(graph, context.allocator, start)
+    limit = default_max_passes(graph.node_count) if max_passes is None else max_passes
+    final = _divide_conquer(
+        graph.edge_file,
+        graph.node_count,
+        tree,
+        context,
+        strategy,
+        depth=0,
+        owns_file=False,
+        pass_limit=limit,
+    )
+    splice_non_root_virtuals(final)
+    return context.finish(final)
+
+
+def divide_star_dfs(
+    graph: DiskGraph,
+    memory: int,
+    start: Optional[int] = None,
+    max_passes: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    trace: bool = False,
+) -> DFSResult:
+    """DivideConquerDFS with the Divide-Star division (Algorithm 3).
+
+    Args:
+        trace: record per-level restructure/division/in-memory events in
+            ``DFSResult.trace`` for analysis.
+    """
+    return _run(
+        graph, memory, star_strategy, "divide-star", start, max_passes,
+        deadline_seconds, trace,
+    )
+
+
+def divide_td_dfs(
+    graph: DiskGraph,
+    memory: int,
+    start: Optional[int] = None,
+    max_passes: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    trace: bool = False,
+) -> DFSResult:
+    """DivideConquerDFS with the Divide-TD division (Algorithm 4).
+
+    Args:
+        trace: record per-level restructure/division/in-memory events in
+            ``DFSResult.trace`` for analysis.
+    """
+    return _run(
+        graph, memory, td_strategy, "divide-td", start, max_passes,
+        deadline_seconds, trace,
+    )

@@ -1,0 +1,217 @@
+"""The division core shared by Divide-Star and Divide-TD.
+
+Both Algorithm 3 and Algorithm 4 follow the same skeleton — they differ
+only in the cut they carve out of the spanning tree (the root's children
+versus a budgeted multi-level cut-tree):
+
+1. **Collect S-edges** (one scan): for each cross-edge whose LCA is an
+   expanded cut node, push it up to its sibling S-edge and add it to Σ.
+2. **Contract Σ's SCCs** (Theorem 6.1): fresh virtual nodes absorb each
+   multi-node SCC, in Σ and in the tree alike.
+3. **Build T_0 top-down**: expandable cut nodes contribute their children;
+   contraction virtuals stay leaves (their subgraphs cannot be divided
+   further at this level).  Σ is restricted to ``V(T_0)``.
+4. **Materialize the parts** (one scan + part writes): every edge with both
+   endpoints in the same leaf subtree is routed to that part's edge file.
+
+Step 4 is skipped when the division is invalid (fewer than two parts), so a
+failed attempt costs one scan, not two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..storage.edge_file import EdgeFile, PartitionWriter
+from ..core.classify import EdgeType, IntervalIndex
+from ..core.tree import SpanningTree, VirtualNodeAllocator
+from .sgraph import SummaryGraph, contract_sigma_sccs, s_edge_endpoints
+
+
+@dataclass
+class Part:
+    """One divided subgraph ``G_i`` (``i >= 1``) with its subtree ``T_i``."""
+
+    index: int
+    root: int
+    tree: SpanningTree
+    real_nodes: List[int]  # non-virtual nodes of the part
+    edge_file: EdgeFile
+
+    @property
+    def size(self) -> int:
+        """``|G_i| = |V_i| + |E_i|``."""
+        return len(self.real_nodes) + self.edge_file.edge_count
+
+
+@dataclass
+class Division:
+    """A valid root-based division: ``T_0``, Σ, and the parts."""
+
+    t0: SpanningTree
+    sigma: SummaryGraph
+    parts: List[Part]
+    contractions: int
+
+    @property
+    def part_count(self) -> int:
+        return len(self.parts)
+
+
+def _extract_subtree(tree: SpanningTree, root: int) -> Tuple[SpanningTree, List[int]]:
+    """Copy the subtree rooted at ``root`` into a standalone tree."""
+    subtree = SpanningTree()
+    real_nodes: List[int] = []
+    subtree.add_node(root, virtual=tree.is_virtual(root))
+    subtree.root = root
+    if not tree.is_virtual(root):
+        real_nodes.append(root)
+    for node in tree.preorder(start=root):
+        if node == root:
+            continue
+        subtree.add_node(node, virtual=tree.is_virtual(node))
+        subtree.attach(node, tree.parent[node])
+        if not tree.is_virtual(node):
+            real_nodes.append(node)
+    return subtree, real_nodes
+
+
+def _simulate_part_count(
+    tree: SpanningTree,
+    sigma: SummaryGraph,
+    cut_nodes: Set[int],
+    expanded: Set[int],
+) -> int:
+    """The number of parts the division would produce, without mutating.
+
+    Mirrors the top-down ``T_0`` construction with every multi-node SCC of
+    Σ treated as a single (contracted) leaf.
+    """
+    group_of: Dict[int, int] = {}
+    for group_id, component in enumerate(sigma.sccs()):
+        if len(component) > 1:
+            for node in component:
+                group_of[node] = group_id
+    leaves = 0
+    seen_groups: Set[int] = set()
+    root = tree.root
+    queue = [root]
+    while queue:
+        node = queue.pop()
+        group = group_of.get(node)
+        if group is not None:
+            if group not in seen_groups:
+                seen_groups.add(group)
+                leaves += 1
+            continue
+        if node != root and node not in expanded:
+            leaves += 1
+            continue
+        children = [child for child in tree.children(node) if child in cut_nodes]
+        if not children:
+            leaves += 1 if node != root else 0
+            continue
+        queue.extend(children)
+    return leaves
+
+
+def divide_with_cut(
+    edge_file: EdgeFile,
+    tree: SpanningTree,
+    cut_nodes: Set[int],
+    expanded: Set[int],
+    allocator: VirtualNodeAllocator,
+) -> Optional[Division]:
+    """Run division steps 1–4 for a given cut.  ``None`` when invalid.
+
+    Mutates ``tree`` only when the division will be valid: the part count
+    is simulated (with Σ's SCCs collapsed) before the node contraction is
+    applied, so failed attempts leave the tree untouched.
+    """
+    if len(cut_nodes) <= 1 or not expanded:
+        return None
+    index = IntervalIndex(tree)
+
+    # Step 1: one scan collecting S-edges whose LCA is an expanded cut node.
+    sigma = SummaryGraph()
+    for node in cut_nodes:
+        sigma.add_node(node)
+    for parent_node in expanded:
+        for child in tree.children(parent_node):
+            sigma.add_edge(parent_node, child)
+    for u, v in edge_file.scan():
+        if u == v:
+            continue
+        kind = index.classify(u, v)
+        if kind is not EdgeType.FORWARD_CROSS and kind is not EdgeType.BACKWARD_CROSS:
+            continue
+        a, b, lca = s_edge_endpoints(tree, index, u, v)
+        if lca in expanded:
+            sigma.add_edge(a, b)
+
+    # Before mutating anything, simulate the part count the contraction
+    # would leave: each multi-node SCC of Σ collapses its sibling group
+    # into ONE leaf.  An invalid division (p <= 1) must not alter the
+    # tree — otherwise every failed attempt on a hard-to-divide graph
+    # grows a chain of useless virtual nodes.
+    if _simulate_part_count(tree, sigma, cut_nodes, expanded) <= 1:
+        return None
+
+    # Step 2: make Σ a DAG via SCC-aware contraction (mutates Σ and tree).
+    contractions = contract_sigma_sccs(sigma, tree, allocator)
+    new_virtuals = {virtual for virtual, _ in contractions}
+
+    # Step 3: build T_0 top-down; contraction virtuals are leaves.
+    in_cut = cut_nodes | new_virtuals
+    t0 = SpanningTree()
+    root = tree.root
+    t0.add_node(root, virtual=tree.is_virtual(root))
+    t0.root = root
+    queue = [root]
+    while queue:
+        node = queue.pop(0)
+        if node in new_virtuals:
+            continue  # a contracted SCC cannot be divided at this level
+        if node != root and node not in expanded:
+            continue  # leaf of the cut-tree: do not descend
+        for child in tree.children(node):
+            if child in in_cut:
+                t0.add_node(child, virtual=tree.is_virtual(child))
+                t0.attach(child, node)
+                queue.append(child)
+    sigma.restrict(set(t0.nodes))
+
+    leaves = [node for node in t0.preorder() if t0.first_child[node] is None]
+    if len(leaves) <= 1:
+        return None
+
+    # Step 4: owner map + one routing scan into the part files.
+    owner: Dict[int, int] = {}
+    part_meta: List[Tuple[int, int]] = []  # (index, root)
+    for part_index, leaf in enumerate(leaves, start=1):
+        part_meta.append((part_index, leaf))
+        for node in tree.preorder(start=leaf):
+            owner[node] = part_index
+    writer = PartitionWriter(edge_file.device, [i for i, _ in part_meta])
+    for u, v in edge_file.scan():
+        part_u = owner.get(u)
+        if part_u is not None and part_u == owner.get(v):
+            writer.route(part_u, u, v)
+    part_files = writer.seal()
+
+    parts: List[Part] = []
+    for part_index, leaf in part_meta:
+        subtree, real_nodes = _extract_subtree(tree, leaf)
+        parts.append(
+            Part(
+                index=part_index,
+                root=leaf,
+                tree=subtree,
+                real_nodes=real_nodes,
+                edge_file=part_files[part_index],
+            )
+        )
+    return Division(
+        t0=t0, sigma=sigma, parts=parts, contractions=len(contractions)
+    )

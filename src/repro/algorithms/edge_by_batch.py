@@ -1,0 +1,106 @@
+"""``EdgeByBatch`` — the paper's Algorithm 1, a.k.a. **SEMI-DFS** [14].
+
+Build the initial ``γ``-star, then repeat batched Restructure passes until a
+pass finds no forward-cross edge anywhere.  The whole edge file is scanned
+every pass even if a single forward-cross edge remains — the inefficiency
+(paper §4.1, drawbacks 2 and 3) that motivates divide & conquer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.tree import SpanningTree
+from ..core.tree_io import save_tree
+from ..errors import ConvergenceError
+from ..graph.disk_graph import DiskGraph
+from .base import DFSResult, RunContext, default_max_passes, initial_star_tree
+from .restructure import restructure
+
+
+def edge_by_batch(
+    graph: DiskGraph,
+    memory: int,
+    start: Optional[int] = None,
+    order: Optional[Sequence[int]] = None,
+    use_external_stack: bool = True,
+    max_passes: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    checkpoint_every: Optional[int] = None,
+    initial_tree: Optional[SpanningTree] = None,
+) -> DFSResult:
+    """Compute a DFS-Tree with the SEMI-DFS batch heuristic.
+
+    Args:
+        graph: the graph on disk.
+        memory: budget ``M`` in elements (``>= 3 * |V|``).
+        start: optional DFS start node (γ's first child).
+        order: optional full restart-priority order over the nodes; the
+            relative order of the surviving restart roots is preserved
+            across restructuring.
+        use_external_stack: spill the in-memory DFS stack through an
+            external stack on the graph's device — the configuration the
+            paper charges to SEMI-DFS.
+        max_passes: cap on Restructure passes; defaults to ``2n + 16``.
+        deadline_seconds: optional wall-clock limit (the paper's timeout).
+        checkpoint_every: save the spanning tree to the graph's device
+            every this many passes; runs at paper scale take hours, and a
+            checkpoint makes them resumable.  The latest checkpoint path
+            lands in ``DFSResult.details`` / on the
+            :class:`~repro.errors.ConvergenceError` (``checkpoint_path``)
+            when a cap interrupts the run.
+        initial_tree: resume from a tree loaded via
+            :func:`repro.core.load_tree` instead of the initial γ-star.
+
+    Raises:
+        ConvergenceError: if the heuristic exceeds ``max_passes`` or the
+            deadline.
+    """
+    context = RunContext(graph, memory, "edge-by-batch", deadline_seconds)
+    context.budget.charge("tree", context.budget.tree_charge(graph.node_count))
+    if initial_tree is not None:
+        if start is not None or order is not None:
+            raise ValueError("initial_tree excludes start/order")
+        tree = initial_tree
+        # keep virtual ids fresh above any the checkpoint already uses
+        for node in initial_tree.virtual:
+            while context.allocator.next_id <= node:
+                context.allocator.allocate()
+    else:
+        tree = initial_star_tree(graph, context.allocator, start, order)
+    stack_device = graph.device if use_external_stack else None
+    limit = default_max_passes(graph.node_count) if max_passes is None else max_passes
+    checkpoint_path: Optional[str] = None
+
+    def take_checkpoint() -> None:
+        nonlocal checkpoint_path
+        checkpoint_path = save_tree(graph.device, tree, name="edge-by-batch-ckpt")
+
+    while True:
+        try:
+            context.check_deadline()
+        except ConvergenceError as exc:
+            if checkpoint_every:
+                take_checkpoint()
+                exc.checkpoint_path = checkpoint_path  # type: ignore[attr-defined]
+            raise
+        outcome = restructure(graph.edge_file, tree, context.budget, stack_device)
+        tree = outcome.tree
+        context.passes += 1
+        context.bump("batches", outcome.batches)
+        context.bump("rebuilds", outcome.rebuilds)
+        if checkpoint_every and context.passes % checkpoint_every == 0:
+            take_checkpoint()
+        if not outcome.update:
+            result = context.finish(tree)
+            if checkpoint_path is not None:
+                result.details["checkpoint"] = checkpoint_path  # type: ignore[index]
+            return result
+        if context.passes >= limit:
+            error = ConvergenceError(
+                f"edge-by-batch did not converge within {limit} passes"
+            )
+            if checkpoint_every:
+                take_checkpoint()
+                error.checkpoint_path = checkpoint_path  # type: ignore[attr-defined]
+            raise error

@@ -1,0 +1,132 @@
+"""The shared ``Restructure(G, T, M)`` procedure (Algorithm 1, lines 7–16).
+
+One call makes one pass over the edge file in memory-sized batches.  Per
+batch it classifies every edge against the current tree (O(1) per edge via
+an :class:`~repro.core.classify.IntervalIndex` rebuilt only when the tree
+changes) and, if at least one forward-cross edge was loaded, rebuilds the
+tree with the tree-order-preferring in-memory DFS over
+``G_M = T ∪ (batch edges)``.
+
+Only *cross* edges are retained in the batch adjacency: forward and
+backward edges (ancestor-related endpoints) provably cannot become
+forward-cross under the tree-preferring rebuild, so carrying them changes
+nothing about the result — but every scanned non-tree edge still *charges*
+the ``|G_M| <= M`` budget, because batch boundaries (and hence I/O
+behaviour) must match the paper's procedure, which loads them all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import MemoryBudgetExceeded
+from ..storage.block_device import BlockDevice
+from ..storage.buffer_pool import MemoryBudget
+from ..storage.edge_file import EdgeFile
+from ..core.classify import IntervalIndex
+from ..core.inmemory import dfs_preferring_tree
+from ..core.tree import SpanningTree
+
+
+@dataclass
+class RestructureOutcome:
+    """What one Restructure pass did."""
+
+    tree: SpanningTree
+    update: bool  # a forward-cross edge existed somewhere in this pass
+    batches: int
+    rebuilds: int  # batches that actually triggered an in-memory DFS
+
+
+def restructure(
+    edge_file: EdgeFile,
+    tree: SpanningTree,
+    budget: MemoryBudget,
+    stack_device: Optional[BlockDevice] = None,
+) -> RestructureOutcome:
+    """One batched pass of Algorithm 1's Restructure.
+
+    Args:
+        edge_file: the (sub)graph's edges on disk.
+        budget: memory budget; the tree must already be charged under the
+            label ``"tree"``, and the batch is granted the remainder.
+        stack_device: forwarded to the in-memory DFS so its node stack can
+            spill as an external stack (the SEMI-DFS configuration).
+
+    Returns:
+        The (possibly replaced) tree plus the pass's update flag and batch
+        counts.
+
+    Raises:
+        MemoryBudgetExceeded: when not even one edge fits beside the tree.
+    """
+    batch_capacity = budget.available
+    if batch_capacity < 1:
+        raise MemoryBudgetExceeded(
+            "no memory left for batch edges next to the spanning tree; "
+            f"budget {budget.capacity}, used {budget.used}"
+        )
+
+    update = False
+    batches = 0
+    rebuilds = 0
+    index = IntervalIndex(tree)
+    extra: Dict[int, List[int]] = {}
+    loaded = 0
+    batch_has_forward_cross = False
+
+    def flush_batch() -> None:
+        nonlocal tree, index, extra, loaded, batch_has_forward_cross
+        nonlocal batches, rebuilds, update
+        if loaded == 0:
+            return
+        batches += 1
+        if batch_has_forward_cross:
+            update = True
+            rebuilds += 1
+            tree = dfs_preferring_tree(tree, extra, stack_device=stack_device)
+            index = IntervalIndex(tree)
+        extra = {}
+        loaded = 0
+        batch_has_forward_cross = False
+
+    # The classification below inlines IntervalIndex.classify with hoisted
+    # dict references — this loop touches every edge of the file every
+    # pass and dominates the whole system's CPU profile.
+    pre = index.pre
+    size = index.size
+    parent = tree.parent
+    for block in edge_file.scan_blocks():
+        for u, v in block:
+            if u == v or parent.get(v) == u:
+                continue  # self-loop / tree edge
+            pre_u = pre[u]
+            pre_v = pre[v]
+            # Every scanned non-tree edge occupies batch memory (the paper
+            # enlarges G_M with all of them), but only cross edges can
+            # influence the rebuild, so only they enter the adjacency.
+            loaded += 1
+            if pre_u < pre_v:
+                if pre_v < pre_u + size[u]:
+                    pass  # forward edge: ancestor relation, harmless
+                else:
+                    targets = extra.get(u)  # forward-cross
+                    if targets is None:
+                        extra[u] = [v]
+                    else:
+                        targets.append(v)
+                    batch_has_forward_cross = True
+            elif pre_u >= pre_v + size[v]:
+                targets = extra.get(u)  # backward-cross
+                if targets is None:
+                    extra[u] = [v]
+                else:
+                    targets.append(v)
+            if loaded >= batch_capacity:
+                flush_batch()
+                pre = index.pre
+                size = index.size
+                parent = tree.parent
+    flush_batch()
+    return RestructureOutcome(tree=tree, update=update, batches=batches, rebuilds=rebuilds)

@@ -1,0 +1,64 @@
+"""The top-level facade: one call to DFS a graph that lives on disk.
+
+>>> from repro import BlockDevice, DiskGraph, semi_external_dfs
+>>> from repro.graph import random_graph
+>>> with BlockDevice() as device:
+...     graph = DiskGraph.from_digraph(device, random_graph(1000, 5, seed=1))
+...     result = semi_external_dfs(graph, memory=4000, algorithm="divide-td")
+...     len(result.order)
+1000
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .algorithms.base import DFSResult
+from .algorithms.divide_conquer import divide_star_dfs, divide_td_dfs
+from .algorithms.edge_by_batch import edge_by_batch
+from .algorithms.edge_by_edge import edge_by_edge
+from .graph.disk_graph import DiskGraph
+
+#: Registered algorithm names, as used throughout the benchmarks.  The
+#: paper's SEMI-DFS comparison baseline is ``edge-by-batch``.
+ALGORITHMS: Dict[str, Callable[..., DFSResult]] = {
+    "edge-by-edge": edge_by_edge,
+    "edge-by-batch": edge_by_batch,
+    "semi-dfs": edge_by_batch,  # the paper's name for the baseline
+    "divide-star": divide_star_dfs,
+    "divide-td": divide_td_dfs,
+}
+
+
+def semi_external_dfs(
+    graph: DiskGraph,
+    memory: int,
+    algorithm: str = "divide-td",
+    start: Optional[int] = None,
+    **options: object,
+) -> DFSResult:
+    """Compute a DFS-Tree of an on-disk graph under a memory budget.
+
+    Args:
+        graph: the graph (node count in memory, edges on disk).
+        memory: budget ``M`` in elements; must satisfy ``M >= 3 * |V|``
+            (the semi-external assumption).
+        algorithm: one of ``edge-by-edge``, ``edge-by-batch`` /
+            ``semi-dfs``, ``divide-star``, ``divide-td``.
+        start: optional start node for the DFS.
+        **options: forwarded to the algorithm — ``max_passes`` and
+            ``deadline_seconds`` everywhere; ``use_external_stack``,
+            ``order``, ``checkpoint_every``, ``initial_tree`` for the
+            batch baseline; ``trace`` for the divide & conquer pair.
+            See docs/API.md for the full option table.
+
+    Returns:
+        A :class:`~repro.algorithms.base.DFSResult` with the tree, the DFS
+        total order, and the measured I/O and pass counts.
+    """
+    try:
+        runner = ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}") from None
+    return runner(graph, memory, start=start, **options)

@@ -1,0 +1,48 @@
+"""DFS-powered applications from the paper's motivation list — topological
+sort, connected components (weak, strong, biconnected), cycle detection,
+bipartiteness, articulation points and bridges, Eulerian paths, planarity
+testing, and reachability — all operating on graphs that live on disk."""
+
+from .bipartite import BipartitenessReport, check_bipartite
+from .euler import EulerReport, check_eulerian, eulerian_path
+from .connectivity import (
+    ConnectivityReport,
+    articulation_points,
+    biconnected_components,
+    bridges,
+    connectivity_report,
+)
+from .components import (
+    UnionFind,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from .cycles import find_cycle, has_cycle
+from .planarity import PlanarityReport, check_planarity, lr_planarity
+from .reachability import reachability_counts, reachable_set, reaches
+from .toposort import topological_order
+
+__all__ = [
+    "BipartitenessReport",
+    "ConnectivityReport",
+    "EulerReport",
+    "PlanarityReport",
+    "UnionFind",
+    "articulation_points",
+    "biconnected_components",
+    "bridges",
+    "check_bipartite",
+    "check_eulerian",
+    "check_planarity",
+    "connectivity_report",
+    "eulerian_path",
+    "find_cycle",
+    "has_cycle",
+    "lr_planarity",
+    "reachability_counts",
+    "reachable_set",
+    "reaches",
+    "strongly_connected_components",
+    "topological_order",
+    "weakly_connected_components",
+]

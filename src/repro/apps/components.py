@@ -1,0 +1,109 @@
+"""Semi-external connected components.
+
+Two flavours, both motivating applications from the paper's introduction:
+
+* **weakly connected components** — a single edge scan into an in-memory
+  union-find over the node set (``O(n)`` memory, ``scan(m)`` I/Os);
+* **strongly connected components** — Kosaraju's algorithm lifted to the
+  semi-external model: DFS the graph, reverse the edge file (one scan, one
+  write), then DFS the reversal with γ's restart priority set to
+  decreasing finish time.  Each tree of the second forest is one SCC.
+
+The second phase uses ``edge-by-batch``, whose restructuring provably
+preserves the relative order of γ's surviving children — the restart
+priority Kosaraju requires.  (The divide & conquer algorithms reorder root
+children during Merge, so they cannot be used for phase two.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..api import semi_external_dfs
+from ..graph.disk_graph import DiskGraph
+from ..algorithms.edge_by_batch import edge_by_batch
+
+
+class UnionFind:
+    """Union-find with path halving and union by size."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+        self.size = [1] * size
+
+    def find(self, node: int) -> int:
+        parent = self.parent
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True when they were distinct."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self.size[root_a] < self.size[root_b]:
+            root_a, root_b = root_b, root_a
+        self.parent[root_b] = root_a
+        self.size[root_a] += self.size[root_b]
+        return True
+
+
+def weakly_connected_components(graph: DiskGraph) -> List[List[int]]:
+    """Components of the underlying undirected graph (one scan)."""
+    dsu = UnionFind(graph.node_count)
+    for u, v in graph.scan():
+        dsu.union(u, v)
+    groups: Dict[int, List[int]] = {}
+    for node in range(graph.node_count):
+        groups.setdefault(dsu.find(node), []).append(node)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def _reverse_graph(graph: DiskGraph) -> DiskGraph:
+    """Materialize the edge-reversed graph on the same device."""
+    return DiskGraph.from_edges(
+        graph.device,
+        graph.node_count,
+        ((v, u) for u, v in graph.scan()),
+        validate=False,
+    )
+
+
+def strongly_connected_components(
+    graph: DiskGraph,
+    memory: int,
+    first_pass_algorithm: str = "divide-td",
+) -> List[List[int]]:
+    """Kosaraju's SCC algorithm in the semi-external model.
+
+    Args:
+        graph: the graph on disk.
+        memory: semi-external budget ``M`` per DFS phase.
+        first_pass_algorithm: algorithm for the forward DFS (any; the
+            finish order of *any* valid DFS works).
+
+    Returns:
+        The SCCs, largest first; together they partition the node set.
+    """
+    forward = semi_external_dfs(graph, memory, algorithm=first_pass_algorithm)
+    finish_order = [
+        node for node in forward.tree.postorder() if not forward.tree.is_virtual(node)
+    ]
+    priority = list(reversed(finish_order))  # decreasing finish time
+
+    reversed_graph = _reverse_graph(graph)
+    try:
+        backward = edge_by_batch(reversed_graph, memory, order=priority)
+        components = [
+            [
+                node
+                for node in backward.tree.preorder(start=root)
+                if not backward.tree.is_virtual(node)
+            ]
+            for root in backward.tree.children(backward.tree.root)
+        ]
+    finally:
+        reversed_graph.delete()
+    return sorted(components, key=len, reverse=True)

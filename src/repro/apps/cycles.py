@@ -1,0 +1,47 @@
+"""Semi-external cycle detection via DFS back edges."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..api import semi_external_dfs
+from ..graph.disk_graph import DiskGraph
+from ..core.classify import IntervalIndex
+
+
+def find_cycle(
+    graph: DiskGraph,
+    memory: int,
+    algorithm: str = "divide-td",
+) -> Optional[List[int]]:
+    """Find a directed cycle, or ``None`` when the graph is acyclic.
+
+    One semi-external DFS plus one scan: a digraph contains a cycle iff a
+    DFS of it has a back edge ``(u, v)`` (``v`` an ancestor of ``u``); the
+    cycle is then the tree path ``v -> ... -> u`` closed by the edge.
+
+    Returns:
+        The cycle as a node list ``[v, ..., u]`` (so that consecutive
+        nodes, wrapping around, are connected by edges), or ``None``.
+    """
+    result = semi_external_dfs(graph, memory, algorithm=algorithm)
+    tree = result.tree
+    index = IntervalIndex(tree)
+    for u, v in graph.scan():
+        if u == v:
+            return [u]
+        if index.is_ancestor(v, u):
+            # Walk the tree path u -> v upward, then reverse it.
+            path = [u]
+            current = u
+            while current != v:
+                current = tree.parent[current]
+                path.append(current)
+            path.reverse()
+            return path
+    return None
+
+
+def has_cycle(graph: DiskGraph, memory: int, algorithm: str = "divide-td") -> bool:
+    """Whether the on-disk graph contains a directed cycle."""
+    return find_cycle(graph, memory, algorithm=algorithm) is not None

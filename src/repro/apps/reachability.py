@@ -1,0 +1,54 @@
+"""Semi-external single-source reachability.
+
+Reachability queries are another §1 motivation.  With only ``O(n)``
+memory, the reachable set of a source is computed by *semi-external
+label propagation*: keep one bit per node, scan the edge file, and mark
+``v`` whenever ``u`` is already marked; repeat until a scan makes no
+change.  Each scan costs ``scan(m)`` I/Os and the pass count is bounded
+by the depth of the BFS layering compressed by in-scan chaining (edges
+that happen to be ordered source-first propagate within one pass —
+another face of the locality observation in the paper's §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..graph.disk_graph import DiskGraph
+
+
+def reachable_set(graph: DiskGraph, source: int, max_passes: int = 0) -> Set[int]:
+    """All nodes reachable from ``source`` (including itself).
+
+    Args:
+        max_passes: optional safety cap; 0 means unlimited (the loop
+            always terminates in at most ``n`` passes).
+    """
+    if not 0 <= source < graph.node_count:
+        raise ValueError(f"source {source} out of range")
+    marked = bytearray(graph.node_count)
+    marked[source] = 1
+    passes = 0
+    changed = True
+    while changed:
+        changed = False
+        passes += 1
+        for u, v in graph.scan():
+            if marked[u] and not marked[v]:
+                marked[v] = 1
+                changed = True
+        if max_passes and passes >= max_passes:
+            break
+    return {node for node in range(graph.node_count) if marked[node]}
+
+
+def reaches(graph: DiskGraph, source: int, target: int) -> bool:
+    """Whether ``target`` is reachable from ``source``."""
+    if not 0 <= target < graph.node_count:
+        raise ValueError(f"target {target} out of range")
+    return target in reachable_set(graph, source)
+
+
+def reachability_counts(graph: DiskGraph, sources: List[int]) -> List[int]:
+    """Size of the reachable set for each source (one propagation each)."""
+    return [len(reachable_set(graph, source)) for source in sources]

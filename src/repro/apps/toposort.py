@@ -1,0 +1,51 @@
+"""Semi-external topological sort — the first motivating application.
+
+A DFS forest's reverse finishing order is a topological order of a DAG, so
+topological sort on disk reduces to one semi-external DFS plus one
+verification scan that looks for back edges (which certify a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..api import semi_external_dfs
+from ..errors import NotADAGError
+from ..graph.disk_graph import DiskGraph
+from ..core.classify import IntervalIndex
+
+
+def topological_order(
+    graph: DiskGraph,
+    memory: int,
+    algorithm: str = "divide-td",
+    start: Optional[int] = None,
+) -> List[int]:
+    """Topologically sort an on-disk DAG.
+
+    Args:
+        graph: the graph on disk.
+        memory: semi-external budget ``M`` (elements, ``>= 3 |V|``).
+        algorithm: which semi-external DFS to use.
+
+    Returns:
+        A topological order over all nodes (sources first).
+
+    Raises:
+        NotADAGError: if the graph contains a cycle (detected by a back
+            edge w.r.t. the computed DFS forest).
+    """
+    result = semi_external_dfs(graph, memory, algorithm=algorithm, start=start)
+    index = IntervalIndex(result.tree)
+    # A digraph is cyclic iff a DFS of it has a back edge: an edge whose
+    # target is a (non-strict) ancestor of its source.
+    for u, v in graph.scan():
+        if u == v or index.is_ancestor(v, u):
+            raise NotADAGError(
+                f"graph has a cycle: edge ({u}, {v}) is a back edge"
+            )
+    finish_order = [
+        node for node in result.tree.postorder() if not result.tree.is_virtual(node)
+    ]
+    finish_order.reverse()
+    return finish_order

@@ -1,0 +1,49 @@
+"""Benchmark harness: workload builders, per-cell runner, and the
+paper-shaped experiment definitions (one per table/figure)."""
+
+from .harness import CellResult, default_dnf_seconds, run_cell, run_series
+from .experiments import (
+    EDGE_PERCENTAGES,
+    PAPER_ALGORITHMS,
+    SYNTHETIC_PARAMETERS,
+    bench_scale,
+    default_nodes,
+    exp1_memory,
+    exp1_real_dataset,
+    exp2_vary_nodes,
+    exp3_vary_degree,
+    exp4_vary_memory,
+    exp5_power_law_ness,
+    exp6_start_node,
+    memory_for_gb,
+    memory_ratio_for_gb,
+    real_dataset_specs,
+    synthetic_edges,
+)
+from .reporting import ALGORITHM_LABELS, render_csv, render_experiment
+
+__all__ = [
+    "ALGORITHM_LABELS",
+    "CellResult",
+    "EDGE_PERCENTAGES",
+    "PAPER_ALGORITHMS",
+    "SYNTHETIC_PARAMETERS",
+    "bench_scale",
+    "default_dnf_seconds",
+    "default_nodes",
+    "exp1_memory",
+    "exp1_real_dataset",
+    "exp2_vary_nodes",
+    "exp3_vary_degree",
+    "exp4_vary_memory",
+    "exp5_power_law_ness",
+    "exp6_start_node",
+    "memory_for_gb",
+    "memory_ratio_for_gb",
+    "real_dataset_specs",
+    "render_csv",
+    "render_experiment",
+    "run_cell",
+    "run_series",
+    "synthetic_edges",
+]

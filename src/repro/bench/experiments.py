@@ -1,0 +1,296 @@
+"""Experiment definitions for every table and figure in the paper (§8).
+
+Scaling: the paper runs 10⁷–10⁹-edge graphs on a 2010 PC; this harness runs
+the same *relative* configurations ~1000x smaller (see DESIGN.md §4).  The
+environment variable ``REPRO_BENCH_SCALE`` (default 0.1) further scales all
+node counts; 1.0 runs the full 1000x configuration.
+
+Memory model: the paper's gigabyte labels are mapped onto the element
+budget ``M(gb) = n_default * (3 + 1.2 * gb)`` — the 0.5→1.5 GB sweep then
+spans batch capacities of ~12% to ~36% of the default edge set, the same
+dynamic regime as the paper's Exp-4, while always respecting the
+semi-external floor ``M >= 3|V|``.  For the node-size sweep (Exp-2) the
+budget tracks ``n`` at the 1 GB ratio because a fixed absolute budget
+cannot span the sweep once the ``3|V|`` floor moves (recorded as a
+substitution in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Dict, Iterable, List, Tuple
+
+from ..graph import datasets as ds
+from ..graph.generators import power_law_graph_edges, random_graph_edges
+from ..graph.sampling import sample_edges
+from .harness import CellResult, run_cell
+
+Edge = Tuple[int, int]
+
+
+def workload_block_elements(expected_edges: int) -> int:
+    """A block size giving the workload a realistic block count.
+
+    The EM-model ratios the paper plots assume files spanning many
+    thousands of blocks (webspam-uk2007 is ~57k blocks of 64 KB).  A
+    fixed 4096-edge block at laptop scale would leave whole graphs only a
+    handful of blocks, letting per-file granularity (every tiny part file
+    costs one whole block) dominate the counts.  Targeting ~512 blocks
+    per graph keeps the ratios in the regime the paper measures.
+    """
+    return max(64, expected_edges // 512)
+
+
+def bench_scale() -> float:
+    """Global size multiplier (``REPRO_BENCH_SCALE``).
+
+    The default 0.1 keeps the full 12-figure suite under ~30 minutes of
+    pure-Python execution; 1.0 runs the full 1000x-scaled-down paper
+    configuration (tens of thousands of nodes per graph).
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+# ----------------------------------------------------------------------
+# Table 1 — synthetic parameter ranges (paper values scaled 1000x down)
+# ----------------------------------------------------------------------
+SYNTHETIC_PARAMETERS = {
+    "node_sizes": [30_000, 40_000, 50_000, 60_000, 70_000],
+    "default_nodes": 50_000,
+    "degrees": [3, 4, 5, 6, 7],
+    "default_degree": 5,
+    "power_law_ness": [0.25, 0.5, 1.0, 2.0, 4.0],
+    "default_power_law_ness": 1.0,
+    "memory_gb": [0.5, 0.75, 1.0, 1.25, 1.5],
+    "default_memory_gb": 1.0,
+}
+
+#: The three algorithms of the paper's comparison figures.
+PAPER_ALGORITHMS = ["edge-by-batch", "divide-star", "divide-td"]
+
+#: The paper's Exp-1 sweep over the fraction of |E| kept.
+EDGE_PERCENTAGES = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def scaled_nodes(base: int) -> int:
+    return max(64, int(base * bench_scale()))
+
+
+def default_nodes() -> int:
+    return scaled_nodes(SYNTHETIC_PARAMETERS["default_nodes"])
+
+
+def memory_for_gb(gb: float) -> int:
+    """Element budget for a paper memory label (see module docstring)."""
+    return int(default_nodes() * (3 + 1.2 * gb))
+
+
+def memory_ratio_for_gb(gb: float, node_count: int) -> int:
+    """Same mapping but tracking ``node_count`` (used when |V| sweeps)."""
+    return int(node_count * (3 + 1.2 * gb))
+
+
+# ----------------------------------------------------------------------
+# Workload builders
+# ----------------------------------------------------------------------
+def synthetic_edges(
+    kind: str,
+    node_count: int,
+    degree: float,
+    power_law_ness: float = 1.0,
+    seed: int = 42,
+) -> Iterable[Edge]:
+    """The paper's two synthetic families (§8, Datasets)."""
+    if kind == "random":
+        return random_graph_edges(node_count, degree, seed=seed)
+    if kind == "power-law":
+        return power_law_graph_edges(
+            node_count, degree, attractiveness=power_law_ness * degree, seed=seed
+        )
+    raise ValueError(f"unknown synthetic kind {kind!r}")
+
+
+def real_dataset_specs() -> Dict[str, ds.DatasetSpec]:
+    """The four Exp-1 dataset stand-ins at the current bench scale."""
+    return ds.all_datasets(scale=bench_scale())
+
+
+def exp1_memory() -> int:
+    """The fixed "2 GB" budget shared by all four Exp-1 datasets.
+
+    Sized against the largest dataset (webspam-uk2007): the paper's 2 GB
+    barely exceeds the spanning-tree floor for its 106M-node graph, so the
+    budget here is the tree plus a batch worth only ~2.5% of the edges —
+    the memory-starved regime all of Exp-1 runs in.
+    """
+    webspam = ds.webspam_uk2007_like(scale=bench_scale())
+    edge_estimate = int(webspam.node_count * webspam.average_degree)
+    return 3 * webspam.node_count + edge_estimate // 40
+
+
+# ----------------------------------------------------------------------
+# Experiments (one function per paper experiment; two figures share one
+# function via the `kind` parameter)
+# ----------------------------------------------------------------------
+def exp1_real_dataset(dataset_name: str) -> List[CellResult]:
+    """Exp-1 (Figs. 8–11): vary the kept percentage of |E| per dataset."""
+    spec = real_dataset_specs()[dataset_name]
+    memory = exp1_memory()
+    block = workload_block_elements(int(spec.node_count * spec.average_degree))
+    results: List[CellResult] = []
+    for fraction in EDGE_PERCENTAGES:
+        for algorithm in PAPER_ALGORITHMS:
+            results.append(
+                run_cell(
+                    x=f"{int(fraction * 100)}%",
+                    algorithm=algorithm,
+                    node_count=spec.node_count,
+                    edges=sample_edges(spec.edges(), fraction, seed=77),
+                    memory=memory,
+                    block_elements=block,
+                )
+            )
+    return results
+
+
+def exp2_vary_nodes(kind: str) -> List[CellResult]:
+    """Exp-2 (Figs. 12–13): vary |V| from 30k to 70k (paper: 30M–70M)."""
+    degree = SYNTHETIC_PARAMETERS["default_degree"]
+    results: List[CellResult] = []
+    for base in SYNTHETIC_PARAMETERS["node_sizes"]:
+        node_count = scaled_nodes(base)
+        memory = memory_ratio_for_gb(1.0, node_count)
+        for algorithm in PAPER_ALGORITHMS:
+            results.append(
+                run_cell(
+                    x=f"{base // 1000}k",
+                    algorithm=algorithm,
+                    node_count=node_count,
+                    edges=synthetic_edges(kind, node_count, degree),
+                    memory=memory,
+                    block_elements=workload_block_elements(node_count * degree),
+                )
+            )
+    return results
+
+
+def exp3_vary_degree(kind: str) -> List[CellResult]:
+    """Exp-3 (Figs. 14–15): vary the average degree from 3 to 7."""
+    node_count = default_nodes()
+    memory = memory_for_gb(1.0)
+    results: List[CellResult] = []
+    for degree in SYNTHETIC_PARAMETERS["degrees"]:
+        for algorithm in PAPER_ALGORITHMS:
+            results.append(
+                run_cell(
+                    x=degree,
+                    algorithm=algorithm,
+                    node_count=node_count,
+                    edges=synthetic_edges(kind, node_count, degree),
+                    memory=memory,
+                    block_elements=workload_block_elements(node_count * degree),
+                )
+            )
+    return results
+
+
+def exp4_vary_memory(kind: str) -> List[CellResult]:
+    """Exp-4 (Figs. 16–17): vary the memory budget from 0.5 to 1.5 GB."""
+    node_count = default_nodes()
+    degree = SYNTHETIC_PARAMETERS["default_degree"]
+    results: List[CellResult] = []
+    edges_cache = list(synthetic_edges(kind, node_count, degree))
+    block = workload_block_elements(len(edges_cache))
+    for gb in SYNTHETIC_PARAMETERS["memory_gb"]:
+        for algorithm in PAPER_ALGORITHMS:
+            results.append(
+                run_cell(
+                    x=f"{gb}GB",
+                    algorithm=algorithm,
+                    node_count=node_count,
+                    edges=edges_cache,
+                    memory=memory_for_gb(gb),
+                    block_elements=block,
+                )
+            )
+    return results
+
+
+def exp5_power_law_ness() -> List[CellResult]:
+    """Exp-5 (Fig. 18): vary the power-law-ness |A|/D from 0.25 to 4."""
+    node_count = default_nodes()
+    degree = SYNTHETIC_PARAMETERS["default_degree"]
+    memory = memory_for_gb(1.0)
+    results: List[CellResult] = []
+    for ratio in SYNTHETIC_PARAMETERS["power_law_ness"]:
+        for algorithm in PAPER_ALGORITHMS:
+            results.append(
+                run_cell(
+                    x=ratio,
+                    algorithm=algorithm,
+                    node_count=node_count,
+                    edges=synthetic_edges(
+                        "power-law", node_count, degree, power_law_ness=ratio
+                    ),
+                    memory=memory,
+                    block_elements=workload_block_elements(node_count * degree),
+                )
+            )
+    return results
+
+
+def exp6_start_node(repetitions: int = 3) -> List[CellResult]:
+    """Exp-6 (Fig. 19): start node drawn from each degree quintile.
+
+    Nodes are split evenly into 5 partitions by total degree (partition 1 =
+    lowest); each cell averages ``repetitions`` random start nodes from the
+    partition (the paper averages 10).
+    """
+    node_count = default_nodes()
+    degree = SYNTHETIC_PARAMETERS["default_degree"]
+    memory = memory_for_gb(1.0)
+    edges_cache = list(synthetic_edges("power-law", node_count, degree))
+
+    totals = [0] * node_count
+    for u, v in edges_cache:
+        totals[u] += 1
+        totals[v] += 1
+    by_degree = sorted(range(node_count), key=lambda n: totals[n])
+    quintile = node_count // 5
+    partitions = [
+        by_degree[i * quintile : (i + 1) * quintile if i < 4 else node_count]
+        for i in range(5)
+    ]
+
+    rng = random.Random(4242)
+    results: List[CellResult] = []
+    for index, partition in enumerate(partitions, start=1):
+        starts = [rng.choice(partition) for _ in range(repetitions)]
+        for algorithm in ["divide-star", "divide-td"]:
+            cells = [
+                run_cell(
+                    x=index,
+                    algorithm=algorithm,
+                    node_count=node_count,
+                    edges=edges_cache,
+                    memory=memory,
+                    start=start,
+                    block_elements=workload_block_elements(len(edges_cache)),
+                )
+                for start in starts
+            ]
+            results.append(
+                CellResult(
+                    x=index,
+                    algorithm=algorithm,
+                    time_seconds=sum(c.time_seconds for c in cells) / len(cells),
+                    ios=sum(c.ios for c in cells) // len(cells),
+                    passes=sum(c.passes for c in cells) // len(cells),
+                    divisions=sum(c.divisions for c in cells) // len(cells),
+                    node_count=node_count,
+                    edge_count=cells[0].edge_count,
+                    dnf=any(c.dnf for c in cells),
+                )
+            )
+    return results

@@ -1,0 +1,100 @@
+"""Benchmark harness: run one algorithm on one workload cell, with the
+paper's DNF semantics (a wall-clock deadline standing in for the 8-hour timeout)."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from ..api import semi_external_dfs
+from ..errors import ConvergenceError
+from ..graph.disk_graph import DiskGraph
+from ..storage.block_device import BlockDevice
+
+Edge = Tuple[int, int]
+
+
+def default_dnf_seconds() -> float:
+    """The stand-in for the paper's 8-hour wall-clock limit.
+
+    A cell whose algorithm runs longer than this is reported DNF, exactly
+    like the paper's missing bars.  Override with ``REPRO_BENCH_TIMEOUT``
+    (seconds).
+    """
+    return float(os.environ.get("REPRO_BENCH_TIMEOUT", "30"))
+
+
+@dataclass
+class CellResult:
+    """One (x-value, algorithm) cell of an experiment's series."""
+
+    x: object
+    algorithm: str
+    time_seconds: float
+    ios: int
+    passes: int
+    divisions: int
+    node_count: int
+    edge_count: int
+    dnf: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.x}/{self.algorithm}"
+
+
+def run_cell(
+    x: object,
+    algorithm: str,
+    node_count: int,
+    edges: Iterable[Edge],
+    memory: int,
+    start: Optional[int] = None,
+    dnf_seconds: Optional[float] = None,
+    block_elements: int = 4096,
+) -> CellResult:
+    """Materialize a workload on a fresh device and run one algorithm.
+
+    Graph materialization I/O is *not* charged to the cell — the paper's
+    datasets pre-exist on disk; measurement starts at the algorithm call.
+    """
+    if dnf_seconds is None:
+        dnf_seconds = default_dnf_seconds()
+    with BlockDevice(block_elements=block_elements) as device:
+        graph = DiskGraph.from_edges(device, node_count, edges, validate=False)
+        started = time.perf_counter()
+        before = device.stats.snapshot()
+        try:
+            result = semi_external_dfs(
+                graph, memory, algorithm=algorithm, start=start,
+                deadline_seconds=dnf_seconds,
+            )
+        except ConvergenceError:
+            elapsed = time.perf_counter() - started
+            ios = (device.stats.snapshot() - before).total
+            return CellResult(
+                x=x, algorithm=algorithm, time_seconds=elapsed, ios=ios,
+                passes=0, divisions=0,
+                node_count=node_count, edge_count=graph.edge_count, dnf=True,
+            )
+        return CellResult(
+            x=x, algorithm=algorithm,
+            time_seconds=result.elapsed_seconds, ios=result.io.total,
+            passes=result.passes, divisions=result.divisions,
+            node_count=node_count, edge_count=graph.edge_count,
+        )
+
+
+def run_series(
+    xs: Iterable[object],
+    algorithms: Iterable[str],
+    cell: Callable[..., CellResult],
+) -> List[CellResult]:
+    """Run ``cell(x, algorithm)`` over the cross product, in sweep order."""
+    results: List[CellResult] = []
+    for x in xs:
+        for algorithm in algorithms:
+            results.append(cell(x, algorithm))
+    return results

@@ -1,0 +1,310 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic graph (or dataset stand-in) as a text
+  edge list.
+* ``dfs`` — semi-external DFS over a text edge list; prints cost metrics
+  and optionally the DFS order.
+* ``toposort`` — semi-external topological sort of a DAG edge list.
+* ``scc`` — semi-external strongly connected components (Kosaraju).
+* ``bench`` — run one paper experiment and print its figure tables.
+
+Examples::
+
+    python -m repro generate --kind power-law --nodes 20000 --degree 5 \\
+        --output graph.txt
+    python -m repro dfs --input graph.txt --algorithm divide-td \\
+        --memory-ratio 0.4 --verify
+    python -m repro bench --experiment exp2:power-law
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import bench as bench_mod
+from .api import ALGORITHMS, semi_external_dfs
+from .apps import strongly_connected_components, topological_order
+from .core import verify_dfs_tree
+from .errors import ReproError
+from .graph import all_datasets, load_edge_list, write_edge_list
+from .graph.generators import power_law_graph_edges, random_graph_edges
+from .storage import BlockDevice
+
+
+def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", required=True, help="text edge list (u v per line)")
+    parser.add_argument(
+        "--nodes", type=int, default=-1,
+        help="node count (default: inferred as max id + 1)",
+    )
+    parser.add_argument(
+        "--memory", type=int, default=0,
+        help="memory budget M in elements (>= 3|V|)",
+    )
+    parser.add_argument(
+        "--memory-ratio", type=float, default=0.0,
+        help="set M = 3|V| + ratio * |E| instead of --memory",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=4096, help="elements per block (B)"
+    )
+
+
+def _resolve_memory(args: argparse.Namespace, node_count: int, edge_count: int) -> int:
+    if args.memory:
+        return args.memory
+    ratio = args.memory_ratio if args.memory_ratio > 0 else 0.25
+    return 3 * node_count + int(ratio * edge_count)
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    datasets = all_datasets(scale=args.scale)
+    if args.kind == "random":
+        edges = random_graph_edges(args.nodes, args.degree, seed=args.seed)
+        header = f"random graph n={args.nodes} D={args.degree} seed={args.seed}"
+    elif args.kind == "power-law":
+        edges = power_law_graph_edges(
+            args.nodes, args.degree,
+            attractiveness=args.power_law_ness * args.degree, seed=args.seed,
+        )
+        header = (
+            f"power-law graph n={args.nodes} D={args.degree} "
+            f"|A|/D={args.power_law_ness} seed={args.seed}"
+        )
+    elif args.kind in datasets:
+        spec = datasets[args.kind]
+        edges = spec.edges()
+        header = f"{spec.name} stand-in n={spec.node_count} scale={args.scale}"
+    else:
+        known = ["random", "power-law"] + list(datasets)
+        print(f"unknown kind {args.kind!r}; known: {', '.join(known)}", file=sys.stderr)
+        return 2
+    count = write_edge_list(args.output, edges, header=header)
+    print(f"wrote {count} edges to {args.output}")
+    return 0
+
+
+def _command_dfs(args: argparse.Namespace) -> int:
+    with BlockDevice(block_elements=args.block_size) as device:
+        graph = load_edge_list(args.input, device, node_count=args.nodes)
+        memory = _resolve_memory(args, graph.node_count, graph.edge_count)
+        print(
+            f"graph: n={graph.node_count} m={graph.edge_count} "
+            f"blocks={graph.edge_file.block_count}  M={memory}"
+        )
+        result = semi_external_dfs(
+            graph, memory, algorithm=args.algorithm, start=args.start
+        )
+        print(
+            f"{result.algorithm}: time={result.elapsed_seconds:.2f}s "
+            f"io={result.io.total} (r={result.io.reads} w={result.io.writes}) "
+            f"passes={result.passes} divisions={result.divisions} "
+            f"depth={result.max_depth}"
+        )
+        if args.verify:
+            report = verify_dfs_tree(graph, result.tree)
+            status = "VALID" if report.ok else "INVALID"
+            print(
+                f"verification: {status} "
+                f"(forward-cross edges: {report.forward_cross_count})"
+            )
+            if not report.ok:
+                return 1
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for node in result.order:
+                    handle.write(f"{node}\n")
+            print(f"DFS order written to {args.output}")
+        else:
+            preview = " ".join(map(str, result.order[:12]))
+            print(f"DFS order: {preview} ...")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    """Run every algorithm on one edge list and print a comparison table."""
+    from .errors import ConvergenceError
+
+    algorithms = ["edge-by-batch", "divide-star", "divide-td"]
+    if args.include_edge_by_edge:
+        algorithms.insert(0, "edge-by-edge")
+    with BlockDevice(block_elements=args.block_size) as device:
+        graph = load_edge_list(args.input, device, node_count=args.nodes)
+        memory = _resolve_memory(args, graph.node_count, graph.edge_count)
+        print(
+            f"graph: n={graph.node_count} m={graph.edge_count}  M={memory}  "
+            f"timeout={args.timeout}s"
+        )
+        header = f"{'algorithm':14s} {'time':>8s} {'I/Os':>8s} {'passes':>6s} {'div':>4s}"
+        print(header)
+        print("-" * len(header))
+        for algorithm in algorithms:
+            try:
+                result = semi_external_dfs(
+                    graph, memory, algorithm=algorithm,
+                    deadline_seconds=args.timeout,
+                )
+            except ConvergenceError:
+                print(f"{algorithm:14s} {'DNF':>8s}")
+                continue
+            print(
+                f"{algorithm:14s} {result.elapsed_seconds:7.2f}s "
+                f"{result.io.total:8d} {result.passes:6d} {result.divisions:4d}"
+            )
+    return 0
+
+
+def _command_toposort(args: argparse.Namespace) -> int:
+    with BlockDevice(block_elements=args.block_size) as device:
+        graph = load_edge_list(args.input, device, node_count=args.nodes)
+        memory = _resolve_memory(args, graph.node_count, graph.edge_count)
+        order = topological_order(graph, memory, algorithm=args.algorithm)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for node in order:
+                    handle.write(f"{node}\n")
+            print(f"topological order written to {args.output}")
+        else:
+            print(" ".join(map(str, order[:20])), "..." if len(order) > 20 else "")
+    return 0
+
+
+def _command_scc(args: argparse.Namespace) -> int:
+    with BlockDevice(block_elements=args.block_size) as device:
+        graph = load_edge_list(args.input, device, node_count=args.nodes)
+        memory = _resolve_memory(args, graph.node_count, graph.edge_count)
+        components = strongly_connected_components(graph, memory)
+        print(f"{len(components)} strongly connected components")
+        for index, component in enumerate(components[: args.top]):
+            share = len(component) / graph.node_count
+            print(f"  #{index + 1}: {len(component)} nodes ({share:.1%})")
+    return 0
+
+
+_EXPERIMENTS = {
+    "exp1:webspam-uk2007": (lambda: bench_mod.exp1_real_dataset("webspam-uk2007"), "|E| kept"),
+    "exp1:twitter-2010": (lambda: bench_mod.exp1_real_dataset("twitter-2010"), "|E| kept"),
+    "exp1:wikilink": (lambda: bench_mod.exp1_real_dataset("wikilink"), "|E| kept"),
+    "exp1:arabic-2005": (lambda: bench_mod.exp1_real_dataset("arabic-2005"), "|E| kept"),
+    "exp2:power-law": (lambda: bench_mod.exp2_vary_nodes("power-law"), "|V|"),
+    "exp2:random": (lambda: bench_mod.exp2_vary_nodes("random"), "|V|"),
+    "exp3:power-law": (lambda: bench_mod.exp3_vary_degree("power-law"), "degree"),
+    "exp3:random": (lambda: bench_mod.exp3_vary_degree("random"), "degree"),
+    "exp4:power-law": (lambda: bench_mod.exp4_vary_memory("power-law"), "memory"),
+    "exp4:random": (lambda: bench_mod.exp4_vary_memory("random"), "memory"),
+    "exp5": (bench_mod.exp5_power_law_ness, "|A|/D"),
+    "exp6": (bench_mod.exp6_start_node, "degree partition"),
+}
+
+
+def _command_planarity(args: argparse.Namespace) -> int:
+    from .apps import check_planarity
+
+    with BlockDevice(block_elements=args.block_size) as device:
+        graph = load_edge_list(args.input, device, node_count=args.nodes)
+        report = check_planarity(graph)
+        verdict = "planar" if report.planar else "NOT planar"
+        mode = "decided by the left-right test" if report.loaded else (
+            "decided by the Euler bound without loading the graph"
+        )
+        print(f"{verdict}: {report.reason}")
+        print(f"simple undirected edges: {report.simple_edge_count} ({mode})")
+    return 0 if report.planar else 3
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    try:
+        runner, x_label = _EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = runner()
+    print(bench_mod.render_experiment(args.experiment, rows, x_label))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semi-external, I/O-efficient depth-first search (SIGMOD'15).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a synthetic edge list")
+    generate.add_argument("--kind", default="power-law")
+    generate.add_argument("--nodes", type=int, default=10_000)
+    generate.add_argument("--degree", type=float, default=5.0)
+    generate.add_argument("--power-law-ness", type=float, default=1.0)
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="dataset stand-in scale factor")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(handler=_command_generate)
+
+    dfs = commands.add_parser("dfs", help="semi-external DFS")
+    _add_common_graph_arguments(dfs)
+    dfs.add_argument("--algorithm", default="divide-td",
+                     choices=sorted(ALGORITHMS))
+    dfs.add_argument("--start", type=int, default=None)
+    dfs.add_argument("--verify", action="store_true",
+                     help="scan the edge file to certify the DFS-Tree")
+    dfs.add_argument("--output", help="write the DFS order here")
+    dfs.set_defaults(handler=_command_dfs)
+
+    compare = commands.add_parser(
+        "compare", help="run all algorithms on one graph and compare costs"
+    )
+    _add_common_graph_arguments(compare)
+    compare.add_argument("--timeout", type=float, default=60.0,
+                         help="per-algorithm wall-clock limit (DNF beyond)")
+    compare.add_argument("--include-edge-by-edge", action="store_true",
+                         help="also run the (slow) per-edge baseline")
+    compare.set_defaults(handler=_command_compare)
+
+    toposort = commands.add_parser("toposort", help="semi-external topological sort")
+    _add_common_graph_arguments(toposort)
+    toposort.add_argument("--algorithm", default="divide-td",
+                          choices=sorted(ALGORITHMS))
+    toposort.add_argument("--output")
+    toposort.set_defaults(handler=_command_toposort)
+
+    scc = commands.add_parser("scc", help="strongly connected components")
+    _add_common_graph_arguments(scc)
+    scc.add_argument("--top", type=int, default=5,
+                     help="how many largest components to print")
+    scc.set_defaults(handler=_command_scc)
+
+    planarity = commands.add_parser(
+        "planarity", help="planar graph test (exit code 3 when not planar)"
+    )
+    _add_common_graph_arguments(planarity)
+    planarity.set_defaults(handler=_command_planarity)
+
+    bench = commands.add_parser("bench", help="run one paper experiment")
+    bench.add_argument("--experiment", required=True)
+    bench.set_defaults(handler=_command_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Edge classification against an ordered spanning tree (Section 2).
+
+Given an ordered spanning tree ``T`` of ``G``, every edge of ``G`` is one of:
+
+* **tree** — an edge of ``T``;
+* **forward** — ``u`` is a (strict) ancestor of ``v``;
+* **backward** — ``u`` is a descendant of ``v`` (includes self-loops);
+* **forward-cross** — no ancestor relation and ``u`` precedes ``v`` in
+  preorder;
+* **backward-cross** — no ancestor relation and ``u`` follows ``v``.
+
+An ordered spanning tree is a DFS-Tree iff it admits **no forward-cross
+edge** — the invariant every algorithm in this library drives toward.
+
+:class:`IntervalIndex` supports O(1) classification while the tree is
+frozen: one O(n) traversal assigns each node its preorder number and subtree
+size, making ancestorship an interval containment test.  Rebuild it after
+any tree mutation (the ``version`` handshake in the restructure loop does
+this); for classification *during* mutation use :mod:`repro.core.order`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from .tree import SpanningTree
+
+
+class EdgeType(enum.Enum):
+    """The Section-2 edge taxonomy."""
+
+    TREE = "tree"
+    FORWARD = "forward"
+    BACKWARD = "backward"
+    FORWARD_CROSS = "forward-cross"
+    BACKWARD_CROSS = "backward-cross"
+
+
+class IntervalIndex:
+    """Preorder/size interval labelling of a frozen :class:`SpanningTree`.
+
+    ``pre[u] <= pre[v] < pre[u] + size[u]`` iff ``u`` is an ancestor of
+    ``v`` (a node is its own ancestor).
+    """
+
+    __slots__ = ("pre", "size", "_parent")
+
+    def __init__(self, tree: SpanningTree) -> None:
+        self.pre: Dict[int, int] = {}
+        self.size: Dict[int, int] = {}
+        self._parent = tree.parent
+        self._build(tree)
+
+    def _build(self, tree: SpanningTree) -> None:
+        if tree.root is None:
+            return
+        # Pass 1: preorder numbering (inlined sibling-resume walk — this
+        # runs once per restructure batch and per division; the generator
+        # indirection is measurable at that call rate).
+        first_child = tree.first_child
+        next_sibling = tree.next_sibling
+        root = tree.root
+        order: list = []
+        append = order.append
+        stack = [root]
+        stack_pop = stack.pop
+        stack_push = stack.append
+        while stack:
+            node = stack_pop()
+            append(node)
+            sibling = next_sibling[node]
+            if sibling is not None and node != root:
+                stack_push(sibling)
+            child = first_child[node]
+            if child is not None:
+                stack_push(child)
+        pre = self.pre
+        for counter, node in enumerate(order):
+            pre[node] = counter
+        # Pass 2: subtree sizes, folded bottom-up over reversed preorder
+        # (children always precede their parent when walking backwards).
+        size = self.size
+        parent = tree.parent
+        for node in reversed(order):
+            total = size.get(node, 0) + 1
+            size[node] = total
+            up = parent[node]
+            if up is not None:
+                size[up] = size.get(up, 0) + total
+
+    # ------------------------------------------------------------------
+    def covers(self, node: int) -> bool:
+        """Whether ``node`` was reachable from the root at build time."""
+        return node in self.pre
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """Whether ``u`` is an ancestor of ``v`` (nodes are self-ancestors)."""
+        pre_u = self.pre[u]
+        return pre_u <= self.pre[v] < pre_u + self.size[u]
+
+    def preorder_position(self, node: int) -> int:
+        """The node's preorder number."""
+        return self.pre[node]
+
+    def classify(self, u: int, v: int) -> EdgeType:
+        """Classify graph edge ``(u, v)`` against the indexed tree."""
+        if self._parent.get(v) == u:
+            return EdgeType.TREE
+        pre_u = self.pre[u]
+        pre_v = self.pre[v]
+        if pre_u <= pre_v < pre_u + self.size[u]:
+            return EdgeType.FORWARD
+        if pre_v <= pre_u < pre_v + self.size[v]:
+            return EdgeType.BACKWARD
+        if pre_u < pre_v:
+            return EdgeType.FORWARD_CROSS
+        return EdgeType.BACKWARD_CROSS
+
+    def classify_fast(self, u: int, v: int) -> Tuple[EdgeType, int, int]:
+        """:meth:`classify` plus both preorder positions (hot-loop helper)."""
+        kind = self.classify(u, v)
+        return kind, self.pre[u], self.pre[v]

@@ -1,0 +1,238 @@
+"""In-memory graph algorithms: tree-preferring DFS, Tarjan SCC, topo sort.
+
+The central routine is :func:`dfs_preferring_tree` — the in-memory DFS that
+Algorithm 1's Restructure applies to ``G_M = T ∪ (batch edges)``.  Its
+adjacency order lists the current tree children *first, in their current
+sibling order*, then the batch edges, implementing the paper's note that
+"DFS should visit the nodes which stay in memory before newly loaded ones":
+when the batch forces no change, the DFS reproduces ``T`` exactly.
+
+The DFS stack holds plain node ids; when a device is passed, its spill
+I/O is accounted inline with the exact semantics of
+:class:`~repro.storage.external_stack.ExternalStack` — the external-memory
+stack the paper charges to SEMI-DFS in its Exp-1/Exp-5 discussions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import InvalidGraphError, NotADAGError
+from ..storage.block_device import BlockDevice
+from .tree import SpanningTree
+
+Adjacency = Mapping[int, Sequence[int]]
+
+
+def dfs_preferring_tree(
+    tree: SpanningTree,
+    extra_adjacency: Optional[Adjacency] = None,
+    stack_device: Optional[BlockDevice] = None,
+) -> SpanningTree:
+    """DFS over ``G_M = tree ∪ extra_adjacency``; returns the new DFS tree.
+
+    Args:
+        tree: the current in-memory spanning tree (spans every node, so the
+            DFS reaches every node from ``tree.root``).
+        extra_adjacency: the batch's non-tree out-edges per node; targets
+            must be nodes of ``tree``.
+        stack_device: when given, stack-spill I/Os are charged to that
+            device exactly as an
+            :class:`~repro.storage.external_stack.ExternalStack` would
+            (page = one block, two hot pages).
+
+    Returns:
+        A fresh :class:`SpanningTree` over the same node set (virtual flags
+        preserved), whose preorder is the DFS visit order.  The result has
+        no forward-cross edges w.r.t. any edge of ``G_M``.
+    """
+    root = tree.root
+    if root is None:
+        raise InvalidGraphError("tree has no root")
+    extra = extra_adjacency or {}
+
+    # Adjacency is materialized lazily on first visit: current tree
+    # children first (their sibling order is the memory-resident visit
+    # preference), then batch edges.
+    first_child = tree.first_child
+    next_sibling = tree.next_sibling
+    node_count = len(tree.parent)
+
+    adjacency: Dict[int, List[int]] = {}
+    next_index: Dict[int, int] = {}
+    new_parent: Dict[int, Optional[int]] = {root: None}
+    children_acc: Dict[int, List[int]] = {}
+    visited = {root}
+
+    def targets_of(node: int) -> List[int]:
+        targets: List[int] = []
+        child = first_child[node]
+        while child is not None:
+            targets.append(child)
+            child = next_sibling[child]
+        batch_targets = extra.get(node)
+        if batch_targets:
+            targets.extend(batch_targets)
+        adjacency[node] = targets
+        next_index[node] = 0
+        return targets
+
+    # The node stack is a plain list; when `stack_device` is given its
+    # spill I/O is accounted inline with the exact semantics of
+    # :class:`ExternalStack` (page size = block, 2 hot pages): a write
+    # when a push crosses a page boundary beyond the hot region, a read
+    # when pops drain the hot region while pages remain spilled.  The
+    # integer arithmetic costs nothing against routing 2 function calls
+    # per DFS step through the stack object.
+    page = stack_device.block_elements if stack_device is not None else 0
+    hot_capacity = 2 * page  # ExternalStack's default hot_pages = 2
+    hot_elements = 0
+    spilled_pages = 0
+    spill_writes = 0
+    spill_reads = 0
+
+    plain_stack: List[int] = []
+    stack_append = plain_stack.append
+    stack_pop = plain_stack.pop
+
+    targets_of(root)
+    stack_append(root)
+    if page:
+        hot_elements = 1
+    while plain_stack:
+        node = stack_pop()
+        if page:
+            if hot_elements == 0 and spilled_pages:
+                spilled_pages -= 1
+                spill_reads += 1
+                hot_elements = page
+            hot_elements -= 1
+        targets = adjacency[node]
+        index = next_index[node]
+        child = None
+        while index < len(targets):
+            candidate = targets[index]
+            index += 1
+            if candidate not in visited:
+                child = candidate
+                break
+        next_index[node] = index
+        if child is not None:
+            visited.add(child)
+            new_parent[child] = node
+            acc = children_acc.get(node)
+            if acc is None:
+                children_acc[node] = [child]
+            else:
+                acc.append(child)
+            targets_of(child)
+            stack_append(node)  # resume `node` after the child's subtree
+            stack_append(child)
+            if page:
+                for _ in range(2):
+                    if hot_elements == hot_capacity:
+                        spilled_pages += 1
+                        spill_writes += 1
+                        hot_elements -= page
+                    hot_elements += 1
+    if stack_device is not None and (spill_writes or spill_reads):
+        stack_device.stats.add_writes(spill_writes)
+        stack_device.stats.add_reads(spill_reads)
+
+    if len(visited) != node_count:
+        missing = node_count - len(visited)
+        raise InvalidGraphError(
+            f"DFS did not span the tree's node set ({missing} nodes unreached); "
+            "the input tree must span all nodes"
+        )
+    return SpanningTree.from_structure(root, new_parent, children_acc, tree.virtual)
+
+
+def tarjan_scc(nodes: Iterable[int], adjacency: Adjacency) -> List[List[int]]:
+    """Strongly connected components (iterative Tarjan).
+
+    Returns:
+        Components in *reverse topological order* of the condensation (the
+        order Tarjan naturally emits).
+    """
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    scc_stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for start in nodes:
+        if start in index_of:
+            continue
+        # Each work entry is [node, neighbor_position].
+        work: List[List[int]] = [[start, 0]]
+        while work:
+            node, position = work[-1]
+            if position == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                scc_stack.append(node)
+                on_stack[node] = True
+            targets = adjacency.get(node, ())
+            advanced = False
+            while position < len(targets):
+                target = targets[position]
+                position += 1
+                if target not in index_of:
+                    work[-1][1] = position
+                    work.append([target, 0])
+                    advanced = True
+                    break
+                if on_stack.get(target):
+                    if index_of[target] < lowlink[node]:
+                        lowlink[node] = index_of[target]
+            if advanced:
+                continue
+            work[-1][1] = position
+            # All neighbors explored: retire `node`.
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component: List[int] = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def topological_sort(nodes: Iterable[int], adjacency: Adjacency) -> List[int]:
+    """Kahn's algorithm; deterministic (seeds processed in sorted order).
+
+    Raises:
+        NotADAGError: when the graph contains a cycle.
+    """
+    node_list = sorted(set(nodes))
+    in_degree: Dict[int, int] = {node: 0 for node in node_list}
+    for node in node_list:
+        for target in adjacency.get(node, ()):
+            if target not in in_degree:
+                raise InvalidGraphError(f"edge target {target} not in node set")
+            in_degree[target] += 1
+    ready = [node for node in node_list if in_degree[node] == 0]
+    heapq.heapify(ready)  # smallest id first, for determinism
+    order: List[int] = []
+    while ready:
+        node = heapq.heappop(ready)
+        order.append(node)
+        for target in adjacency.get(node, ()):
+            in_degree[target] -= 1
+            if in_degree[target] == 0:
+                heapq.heappush(ready, target)
+    if len(order) != len(node_list):
+        raise NotADAGError("graph contains a cycle; topological sort impossible")
+    return order

@@ -1,0 +1,121 @@
+"""Validators: spanning-tree structure and the DFS-Tree property.
+
+``verify_dfs_tree`` is the ground truth every algorithm is tested against:
+it scans the full edge set (paying real I/O when the graph is on disk) and
+asserts the defining property of a DFS-Tree — **no forward-cross edges**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..graph.digraph import Digraph
+from ..graph.disk_graph import DiskGraph
+from .classify import EdgeType, IntervalIndex
+from .tree import SpanningTree
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class TreeCheckResult:
+    """Outcome of :func:`check_spanning_tree`."""
+
+    ok: bool
+    problems: List[str] = field(default_factory=list)
+
+
+def check_spanning_tree(tree: SpanningTree, node_ids: Iterable[int]) -> TreeCheckResult:
+    """Structural check: rooted, acyclic, spans exactly ``node_ids``.
+
+    Virtual nodes are allowed anywhere in the tree; ``node_ids`` are the
+    *real* nodes that must all be present and reachable from the root.
+    """
+    problems: List[str] = []
+    required = set(node_ids)
+    if tree.root is None:
+        return TreeCheckResult(False, ["tree has no root"])
+
+    reachable = set()
+    for node in tree.preorder():
+        if node in reachable:
+            problems.append(f"node {node} visited twice in preorder")
+            break
+        reachable.add(node)
+
+    missing = required - reachable
+    if missing:
+        sample = sorted(missing)[:5]
+        problems.append(f"{len(missing)} required nodes unreachable, e.g. {sample}")
+
+    extra_real = {
+        node for node in reachable if node not in required and not tree.is_virtual(node)
+    }
+    if extra_real:
+        sample = sorted(extra_real)[:5]
+        problems.append(f"non-virtual nodes outside the node set: {sample}")
+
+    # parent/child link consistency
+    for node in reachable:
+        for child in tree.children(node):
+            if tree.parent.get(child) != node:
+                problems.append(f"child link {node}->{child} without matching parent link")
+    return TreeCheckResult(not problems, problems)
+
+
+@dataclass
+class DFSTreeReport:
+    """Outcome of a DFS-Tree verification scan."""
+
+    ok: bool
+    forward_cross_count: int
+    first_offender: Optional[Edge]
+    counts: Dict[EdgeType, int]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _classify_stream(
+    edges: Iterable[Edge], tree: SpanningTree, stop_early: bool
+) -> DFSTreeReport:
+    index = IntervalIndex(tree)
+    counts: Dict[EdgeType, int] = {kind: 0 for kind in EdgeType}
+    forward_cross = 0
+    first: Optional[Edge] = None
+    for u, v in edges:
+        if u == v:
+            counts[EdgeType.BACKWARD] += 1
+            continue
+        kind = index.classify(u, v)
+        counts[kind] += 1
+        if kind is EdgeType.FORWARD_CROSS:
+            forward_cross += 1
+            if first is None:
+                first = (u, v)
+            if stop_early:
+                break
+    return DFSTreeReport(forward_cross == 0, forward_cross, first, counts)
+
+
+def verify_dfs_tree(
+    graph: DiskGraph, tree: SpanningTree, stop_early: bool = False
+) -> DFSTreeReport:
+    """Scan the on-disk edge set; report forward-cross edges w.r.t. ``tree``.
+
+    The scan pays real (simulated) I/O, exactly like the algorithms do.
+    """
+    return _classify_stream(graph.scan(), tree, stop_early)
+
+
+def verify_dfs_tree_inmemory(
+    graph: Digraph, tree: SpanningTree, stop_early: bool = False
+) -> DFSTreeReport:
+    """In-memory variant of :func:`verify_dfs_tree`."""
+    return _classify_stream(graph.edges(), tree, stop_early)
+
+
+def real_preorder(tree: SpanningTree) -> List[int]:
+    """The tree's preorder with virtual nodes removed — the DFS total order."""
+    return [node for node in tree.preorder() if not tree.is_virtual(node)]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses separate the three
+failure domains of a semi-external graph system: the storage substrate, the
+memory model, and the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class StorageError(ReproError):
+    """An on-disk structure is missing, closed, or corrupt."""
+
+
+class ClosedFileError(StorageError):
+    """An operation was attempted on a closed device or edge file."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A charge against :class:`repro.storage.MemoryBudget` went over `M`."""
+
+
+class InvalidGraphError(ReproError):
+    """A graph input violates a documented precondition (bad node id, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """A restructuring heuristic exceeded its pass limit.
+
+    The Sibeyn et al. procedures are heuristics whose worst case is ``n``
+    passes over the edge file; the library caps passes (see
+    ``max_passes``) and raises this error rather than loop unboundedly.
+    """
+
+
+class InvalidDivisionError(ReproError):
+    """A division violates one of the four validity properties (Section 5)."""
+
+
+class NotADAGError(ReproError):
+    """Topological sort was requested for a graph that contains a cycle."""

@@ -1,0 +1,52 @@
+"""Graphs: in-memory digraphs, on-disk graphs, generators, and datasets."""
+
+from .datasets import (
+    DatasetSpec,
+    all_datasets,
+    arabic2005_like,
+    twitter2010_like,
+    webspam_uk2007_like,
+    wikilink_like,
+)
+from .digraph import Digraph
+from .disk_graph import DiskGraph
+from .generators import (
+    directed_cycle,
+    disconnected_clusters,
+    grid_graph,
+    power_law_graph,
+    power_law_graph_edges,
+    random_dag,
+    random_graph,
+    random_graph_edges,
+    random_tree,
+)
+from .io import digraph_from_edge_list, load_edge_list, read_edge_list, write_edge_list
+from .relabel import relabel_graph
+from .sampling import sample_edges
+
+__all__ = [
+    "DatasetSpec",
+    "Digraph",
+    "DiskGraph",
+    "all_datasets",
+    "arabic2005_like",
+    "digraph_from_edge_list",
+    "directed_cycle",
+    "disconnected_clusters",
+    "grid_graph",
+    "load_edge_list",
+    "power_law_graph",
+    "power_law_graph_edges",
+    "random_dag",
+    "random_graph",
+    "random_graph_edges",
+    "random_tree",
+    "read_edge_list",
+    "relabel_graph",
+    "sample_edges",
+    "twitter2010_like",
+    "webspam_uk2007_like",
+    "wikilink_like",
+    "write_edge_list",
+]

@@ -1,0 +1,208 @@
+"""Synthetic graph generators.
+
+Two generators reproduce the paper's synthetic workloads (Section 8,
+"Datasets"):
+
+* :func:`random_graph` — "randomly generate a node pair and add to the graph
+  until the number of edges is ``D * |V|``".
+* :func:`power_law_graph` — preferential attachment after Dorogovtsev,
+  Mendes & Samukhin [7], parameterized by the "power-law-ness" ``A``: a new
+  edge's target is chosen with probability proportional to
+  ``in_degree(v) + A``.  Larger ``|A| / D`` means a larger fraction of
+  high-degree nodes (the paper's Exp-5 knob).
+
+The remaining generators build structured inputs for tests: trees, DAGs,
+cycles, grids, and disconnected multi-component graphs.
+
+Everything is deterministic given ``seed`` and streams edges lazily so the
+benchmark harness can materialize graphs straight to disk.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from .digraph import Digraph
+
+Edge = Tuple[int, int]
+
+
+def random_graph_edges(
+    node_count: int,
+    average_degree: float,
+    seed: int = 0,
+    allow_duplicates: bool = False,
+) -> Iterator[Edge]:
+    """Stream the edges of the paper's uniform random graph.
+
+    Node pairs ``(u, v)`` with ``u != v`` are drawn uniformly until
+    ``average_degree * node_count`` edges have been produced.
+    """
+    if node_count < 2:
+        return
+    rng = random.Random(seed)
+    target_edges = int(average_degree * node_count)
+    if not allow_duplicates:
+        # without duplicates at most n*(n-1) distinct edges exist
+        target_edges = min(target_edges, node_count * (node_count - 1))
+    produced = 0
+    seen = None if allow_duplicates else set()
+    while produced < target_edges:
+        u = rng.randrange(node_count)
+        v = rng.randrange(node_count)
+        if u == v:
+            continue
+        if seen is not None:
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+        yield (u, v)
+        produced += 1
+
+
+def random_graph(node_count: int, average_degree: float, seed: int = 0) -> Digraph:
+    """The paper's uniform random graph, materialized in memory."""
+    return Digraph.from_edges(
+        node_count, random_graph_edges(node_count, average_degree, seed)
+    )
+
+
+def power_law_graph_edges(
+    node_count: int,
+    average_degree: float,
+    attractiveness: Optional[float] = None,
+    seed: int = 0,
+    reverse_fraction: float = 0.15,
+) -> Iterator[Edge]:
+    """Stream the edges of a preferential-attachment power-law graph.
+
+    Nodes arrive in id order; each new node emits ``D`` edges whose targets
+    are chosen with probability proportional to ``in_degree + A`` among the
+    nodes present so far (the Dorogovtsev et al. model the paper cites).
+
+    Args:
+        attractiveness: the paper's ``A``; defaults to ``average_degree``
+            (i.e. power-law-ness ``|A|/D = 1``, the paper's default).
+        reverse_fraction: fraction of edges emitted old-node -> new-node
+            instead of new -> old.  Pure preferential attachment (the
+            cited model) is acyclic; reversing a small fraction plants the
+            cycles a DFS workload needs without disturbing the degree skew
+            or growing a giant SCC.
+    """
+    if node_count < 2:
+        return
+    rng = random.Random(seed)
+    degree = max(1, int(round(average_degree)))
+    attract = float(average_degree) if attractiveness is None else float(attractiveness)
+    if attract <= 0:
+        raise ValueError("attractiveness must be positive")
+    # `endpoints` holds one entry per in-degree unit; sampling from it is
+    # sampling proportional to in-degree.  The uniform `A` component is
+    # realized by choosing a uniform node with the complementary probability.
+    endpoints: List[int] = []
+    for new in range(1, node_count):
+        emitted = degree if new >= degree else 1
+        for _ in range(emitted):
+            total_in = len(endpoints)
+            if endpoints and rng.random() >= (new * attract) / (new * attract + total_in):
+                target = endpoints[rng.randrange(total_in)]
+            else:
+                target = rng.randrange(new)
+            endpoints.append(target)
+            if rng.random() < reverse_fraction:
+                yield (target, new)
+            else:
+                yield (new, target)
+
+
+def power_law_graph(
+    node_count: int,
+    average_degree: float,
+    attractiveness: Optional[float] = None,
+    seed: int = 0,
+    reverse_fraction: float = 0.15,
+) -> Digraph:
+    """Preferential-attachment power-law graph, materialized in memory."""
+    return Digraph.from_edges(
+        node_count,
+        power_law_graph_edges(
+            node_count, average_degree, attractiveness, seed, reverse_fraction
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# structured generators for tests
+# ----------------------------------------------------------------------
+def random_tree(node_count: int, seed: int = 0) -> Digraph:
+    """A uniformly random arborescence rooted at node 0."""
+    rng = random.Random(seed)
+    graph = Digraph(node_count)
+    for v in range(1, node_count):
+        graph.add_edge(rng.randrange(v), v)
+    return graph
+
+
+def random_dag(node_count: int, edge_count: int, seed: int = 0) -> Digraph:
+    """A random DAG: edges only from smaller to larger ids."""
+    if node_count < 2 and edge_count > 0:
+        raise ValueError("a DAG with edges needs at least 2 nodes")
+    rng = random.Random(seed)
+    graph = Digraph(node_count)
+    produced = 0
+    limit = node_count * (node_count - 1) // 2
+    target = min(edge_count, limit)
+    seen = set()
+    while produced < target:
+        u = rng.randrange(node_count - 1)
+        v = rng.randrange(u + 1, node_count)
+        if (u, v) in seen:
+            continue
+        seen.add((u, v))
+        graph.add_edge(u, v)
+        produced += 1
+    return graph
+
+
+def directed_cycle(node_count: int) -> Digraph:
+    """The directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    graph = Digraph(node_count)
+    for u in range(node_count):
+        graph.add_edge(u, (u + 1) % node_count)
+    return graph
+
+
+def grid_graph(width: int, height: int) -> Digraph:
+    """A directed grid: edges point right and down."""
+    graph = Digraph(width * height)
+    for row in range(height):
+        for col in range(width):
+            node = row * width + col
+            if col + 1 < width:
+                graph.add_edge(node, node + 1)
+            if row + 1 < height:
+                graph.add_edge(node, node + width)
+    return graph
+
+
+def disconnected_clusters(
+    cluster_sizes: List[int], intra_degree: float = 2.0, seed: int = 0
+) -> Digraph:
+    """Several random clusters with no edges between them."""
+    node_count = sum(cluster_sizes)
+    graph = Digraph(node_count)
+    rng = random.Random(seed)
+    offset = 0
+    for size in cluster_sizes:
+        target_edges = int(intra_degree * size)
+        produced = 0
+        while produced < target_edges and size >= 2:
+            u = offset + rng.randrange(size)
+            v = offset + rng.randrange(size)
+            if u == v:
+                continue
+            graph.add_edge(u, v)
+            produced += 1
+        offset += size
+    return graph

@@ -1,0 +1,31 @@
+"""Edge sampling — the Exp-1 "vary percentage of |E|" treatment.
+
+The paper's Exp-1 randomly selects a fraction of ``E`` and sweeps the
+fraction from 20% to 100%.  :func:`sample_edges` filters an edge stream with
+an independent keep-probability, which matches "randomly select edges from
+E" while remaining single-pass and deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Tuple
+
+Edge = Tuple[int, int]
+
+
+def sample_edges(edges: Iterable[Edge], fraction: float, seed: int = 0) -> Iterator[Edge]:
+    """Keep each edge independently with probability ``fraction``.
+
+    Args:
+        fraction: in ``(0, 1]``; 1.0 streams every edge through unchanged.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        yield from edges
+        return
+    rng = random.Random(seed)
+    for edge in edges:
+        if rng.random() < fraction:
+            yield edge

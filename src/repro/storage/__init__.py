@@ -1,0 +1,29 @@
+"""The external-memory storage substrate (simulated block device).
+
+See DESIGN.md §3 and §5: this package substitutes a physical disk with an
+I/O-accounted block device backed by real temporary files, plus the
+external-memory primitives the paper's algorithms rely on (edge files,
+partition routing, external sort, an external stack, and logical memory
+budgeting).
+"""
+
+from .block_device import DEFAULT_BLOCK_ELEMENTS, BlockDevice
+from .buffer_pool import TREE_NODE_COST, MemoryBudget
+from .edge_file import EdgeFile, PartitionWriter, edge_file_from_edges
+from .external_sort import sort_edge_file
+from .external_stack import ExternalStack
+from .io_stats import IOSnapshot, IOStats
+
+__all__ = [
+    "BlockDevice",
+    "DEFAULT_BLOCK_ELEMENTS",
+    "EdgeFile",
+    "ExternalStack",
+    "IOSnapshot",
+    "IOStats",
+    "MemoryBudget",
+    "PartitionWriter",
+    "TREE_NODE_COST",
+    "edge_file_from_edges",
+    "sort_edge_file",
+]

@@ -1,0 +1,188 @@
+"""On-disk edge files: the representation of a graph's edge set on disk.
+
+An :class:`EdgeFile` stores ``(u, v)`` pairs in blocks of
+``device.block_elements`` edges.  Its life cycle is write-then-scan:
+
+1. the file is created writable by
+   :meth:`~repro.storage.block_device.BlockDevice.create_edge_file`;
+2. edges are appended with :meth:`EdgeFile.append` /
+   :meth:`EdgeFile.extend`;
+3. :meth:`EdgeFile.seal` finishes writing, after which the file may be
+   scanned any number of times (each scan paying ``ceil(m / B)`` read I/Os).
+
+:class:`PartitionWriter` routes a single scan of a parent file into ``p``
+part files — the one-pass division materialization used by Divide-Star and
+Divide-TD.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from ..errors import ClosedFileError, StorageError
+from .block_device import BlockDevice
+from .serialization import EDGE_BYTES, Edge, pack_edges, unpack_edges
+
+
+class EdgeFile:
+    """A block-structured file of directed edges on a :class:`BlockDevice`.
+
+    Not constructed directly; use
+    :meth:`BlockDevice.create_edge_file`.
+    """
+
+    def __init__(self, device: BlockDevice, path: str) -> None:
+        self.device = device
+        self.path = path
+        self._write_buffer: List[Edge] = []
+        self._handle = open(path, "wb")
+        self._sealed = False
+        self._deleted = False
+        self.edge_count = 0
+        self.block_count = 0
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self._deleted:
+            raise ClosedFileError(f"edge file {self.path} was deleted")
+        if self._sealed:
+            raise StorageError(f"edge file {self.path} is sealed; cannot append")
+
+    def append(self, u: int, v: int) -> None:
+        """Append one edge.  Flushes a block when the buffer fills."""
+        self._check_writable()
+        self._write_buffer.append((u, v))
+        if len(self._write_buffer) >= self.device.block_elements:
+            self._flush_block()
+
+    def extend(self, edges: Iterable[Edge]) -> None:
+        """Append many edges."""
+        for u, v in edges:
+            self.append(u, v)
+
+    def _flush_block(self) -> None:
+        if not self._write_buffer:
+            return
+        self._handle.write(pack_edges(self._write_buffer))
+        self.edge_count += len(self._write_buffer)
+        self.block_count += 1
+        self.device.stats.add_writes(1)
+        self._write_buffer.clear()
+
+    def seal(self) -> "EdgeFile":
+        """Finish writing.  Idempotent; returns ``self`` for chaining."""
+        if self._deleted:
+            raise ClosedFileError(f"edge file {self.path} was deleted")
+        if not self._sealed:
+            self._flush_block()
+            self._handle.close()
+            self._sealed = True
+        return self
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def sealed(self) -> bool:
+        """Whether the file is finished and scannable."""
+        return self._sealed
+
+    def _check_readable(self) -> None:
+        if self._deleted:
+            raise ClosedFileError(f"edge file {self.path} was deleted")
+        if not self._sealed:
+            raise StorageError(f"edge file {self.path} must be sealed before scanning")
+
+    def scan_blocks(self) -> Iterator[List[Edge]]:
+        """Yield one list of edges per block, charging one read I/O each."""
+        self._check_readable()
+        block_bytes = self.device.block_elements * EDGE_BYTES
+        with open(self.path, "rb") as handle:
+            while True:
+                data = handle.read(block_bytes)
+                if not data:
+                    break
+                self.device.stats.add_reads(1)
+                yield unpack_edges(data)
+
+    def scan(self) -> Iterator[Edge]:
+        """Yield every edge in file order, charging one read I/O per block."""
+        for block in self.scan_blocks():
+            yield from block
+
+    def read_all(self) -> List[Edge]:
+        """Read the whole file into memory (charging the full scan cost)."""
+        edges: List[Edge] = []
+        for block in self.scan_blocks():
+            edges.extend(block)
+        return edges
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def delete(self) -> None:
+        """Remove the backing file.  Safe to call more than once."""
+        if self._deleted:
+            return
+        if not self._sealed and not self._handle.closed:
+            self._handle.close()
+        self._deleted = True
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+    def __len__(self) -> int:
+        return self.edge_count
+
+    def __repr__(self) -> str:
+        state = "deleted" if self._deleted else ("sealed" if self._sealed else "writable")
+        return (
+            f"EdgeFile({os.path.basename(self.path)!r}, edges={self.edge_count}, "
+            f"blocks={self.block_count}, {state})"
+        )
+
+
+def edge_file_from_edges(device: BlockDevice, edges: Iterable[Edge]) -> EdgeFile:
+    """Write ``edges`` to a fresh sealed :class:`EdgeFile` on ``device``."""
+    edge_file = device.create_edge_file()
+    edge_file.extend(edges)
+    return edge_file.seal()
+
+
+class PartitionWriter:
+    """Route edges into ``p`` part files during a single scan.
+
+    Parts are addressed by arbitrary hashable keys (subgraph indices).  Each
+    part buffers one block and pays write I/Os exactly as a standalone
+    :class:`EdgeFile` would — the paper's division step writes each surviving
+    edge back to disk exactly once.
+    """
+
+    def __init__(self, device: BlockDevice, part_keys: Sequence[object]) -> None:
+        if len(set(part_keys)) != len(part_keys):
+            raise ValueError("part keys must be unique")
+        self.device = device
+        self._parts: Dict[object, EdgeFile] = {
+            key: device.create_edge_file() for key in part_keys
+        }
+
+    def route(self, key: object, u: int, v: int) -> None:
+        """Append edge ``(u, v)`` to the part addressed by ``key``."""
+        try:
+            part = self._parts[key]
+        except KeyError:
+            raise KeyError(f"unknown partition key: {key!r}") from None
+        part.append(u, v)
+
+    def seal(self) -> Dict[object, EdgeFile]:
+        """Seal all parts and return the ``key -> EdgeFile`` mapping."""
+        return {key: part.seal() for key, part in self._parts.items()}
+
+    def discard(self) -> None:
+        """Delete all part files (used on error paths)."""
+        for part in self._parts.values():
+            part.delete()

@@ -1,0 +1,150 @@
+"""An external-memory stack.
+
+The paper's Exp-1 discussion attributes part of SEMI-DFS's cost to "the
+external-memory stack used in the DFS procedure": when a DFS runs over a
+graph near the memory limit, its node stack itself can outgrow memory.
+:class:`ExternalStack` keeps at most ``hot_pages`` pages of ints in memory
+and spills the deepest pages to a page file on the device, paying one write
+I/O per spilled page and one read I/O per reloaded page.
+
+Amortized, a sequence of ``N`` pushes and pops costs ``O(N / B)`` I/Os —
+the textbook EM stack bound.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..errors import ClosedFileError, StorageError
+from .block_device import BlockDevice
+from .serialization import INT_BYTES, pack_ints, unpack_ints
+
+
+class ExternalStack:
+    """A LIFO stack of 32-bit ints that spills cold pages to disk.
+
+    Args:
+        device: block device to spill pages to (and charge I/Os against).
+        page_elements: ints per page; defaults to the device block size.
+        hot_pages: number of pages kept in memory (minimum 1).
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        page_elements: Optional[int] = None,
+        hot_pages: int = 2,
+    ) -> None:
+        if hot_pages < 1:
+            raise ValueError("hot_pages must be at least 1")
+        self.device = device
+        if page_elements is None:
+            page_elements = device.block_elements
+        if page_elements <= 0:
+            raise ValueError("page_elements must be positive")
+        self.page_elements = page_elements
+        self.hot_pages = hot_pages
+        self._hot: List[List[int]] = [[]]
+        self._spilled_pages = 0  # pages currently resident in the page file
+        self._path = device.allocate_path(suffix=".stack")
+        self._handle = open(self._path, "w+b")
+        self._closed = False
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedFileError("operation on a closed ExternalStack")
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def spilled_pages(self) -> int:
+        """Pages currently resident on disk (observability for tests)."""
+        return self._spilled_pages
+
+    # ------------------------------------------------------------------
+    def push(self, value: int) -> None:
+        """Push ``value``; spills the coldest page if memory is full."""
+        self._check_open()
+        top = self._hot[-1]
+        if len(top) >= self.page_elements:
+            self._hot.append([])
+            top = self._hot[-1]
+            if len(self._hot) > self.hot_pages:
+                self._spill_coldest()
+        top.append(value)
+        self._size += 1
+
+    def pop(self) -> int:
+        """Pop and return the most recently pushed value.
+
+        Raises:
+            IndexError: when the stack is empty.
+        """
+        self._check_open()
+        if self._size == 0:
+            raise IndexError("pop from empty ExternalStack")
+        top = self._hot[-1]
+        if not top:
+            # The in-memory top page is exhausted; drop it and, if no hot
+            # pages remain, reload the most recently spilled page.
+            self._hot.pop()
+            if not self._hot:
+                self._reload_hottest_spilled()
+            top = self._hot[-1]
+        self._size -= 1
+        return top.pop()
+
+    def peek(self) -> int:
+        """Return the top value without removing it."""
+        value = self.pop()
+        self.push(value)
+        return value
+
+    # ------------------------------------------------------------------
+    def _spill_coldest(self) -> None:
+        page = self._hot.pop(0)
+        if len(page) != self.page_elements:
+            raise StorageError("internal error: spilling a non-full page")
+        offset = self._spilled_pages * self.page_elements * INT_BYTES
+        self._handle.seek(offset)
+        self._handle.write(pack_ints(page))
+        self._spilled_pages += 1
+        self.device.stats.add_writes(1)
+
+    def _reload_hottest_spilled(self) -> None:
+        if self._spilled_pages == 0:
+            raise StorageError("internal error: nothing spilled to reload")
+        self._spilled_pages -= 1
+        offset = self._spilled_pages * self.page_elements * INT_BYTES
+        self._handle.seek(offset)
+        data = self._handle.read(self.page_elements * INT_BYTES)
+        self.device.stats.add_reads(1)
+        self._hot.append(unpack_ints(data))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the page file.  Safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.close()
+        try:
+            os.remove(self._path)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "ExternalStack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExternalStack(size={self._size}, hot_pages={len(self._hot)}, "
+            f"spilled_pages={self._spilled_pages})"
+        )

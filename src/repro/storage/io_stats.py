@@ -1,0 +1,81 @@
+"""I/O accounting for the simulated external-memory model.
+
+The paper analyses algorithms in the external-memory (EM) model of
+Aggarwal & Vitter: main memory holds ``M`` elements, disk transfers move one
+block of ``B`` elements per I/O.  Everything the paper plots in its "(b) I/O"
+panels is a count of such block transfers.  :class:`IOStats` is the mutable
+counter threaded through the storage layer; :class:`IOSnapshot` is an
+immutable point-in-time copy used to compute per-phase deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """Immutable point-in-time copy of an :class:`IOStats` counter."""
+
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        """Total block transfers (reads + writes)."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(self.reads - other.reads, self.writes - other.writes)
+
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(self.reads + other.reads, self.writes + other.writes)
+
+
+class IOStats:
+    """Mutable counter of block reads and writes.
+
+    One :class:`IOStats` instance belongs to each
+    :class:`~repro.storage.block_device.BlockDevice`; every block transfer
+    performed through that device increments it.  Algorithms observe costs
+    by snapshotting before and after a phase::
+
+        before = device.stats.snapshot()
+        ...          # do I/O
+        cost = device.stats.snapshot() - before
+    """
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def add_reads(self, blocks: int = 1) -> None:
+        """Record ``blocks`` block reads."""
+        if blocks < 0:
+            raise ValueError("block count must be non-negative")
+        self.reads += blocks
+
+    def add_writes(self, blocks: int = 1) -> None:
+        """Record ``blocks`` block writes."""
+        if blocks < 0:
+            raise ValueError("block count must be non-negative")
+        self.writes += blocks
+
+    @property
+    def total(self) -> int:
+        """Total block transfers so far."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> IOSnapshot:
+        """Return an immutable copy of the current counters."""
+        return IOSnapshot(self.reads, self.writes)
+
+    def reset(self) -> None:
+        """Zero both counters."""
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:
+        return f"IOStats(reads={self.reads}, writes={self.writes})"

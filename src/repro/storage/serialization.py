@@ -1,0 +1,86 @@
+"""Fixed-width binary codecs for on-disk graph data.
+
+Edges are stored as pairs of little-endian signed 32-bit integers (8 bytes
+per edge).  Signed width leaves headroom for virtual node ids, which the
+library allocates *above* the real node range but well inside 2**31; the
+codec validates the range on encode so corruption is caught at write time
+rather than at a confusing distance later.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+_EDGE = struct.Struct("<ii")
+_INT = struct.Struct("<i")
+
+EDGE_BYTES = _EDGE.size
+INT_BYTES = _INT.size
+
+_INT32_MIN = -(2**31)
+_INT32_MAX = 2**31 - 1
+
+
+def pack_edges(edges: Sequence[Edge]) -> bytes:
+    """Serialize a sequence of ``(u, v)`` pairs to bytes.
+
+    Raises:
+        ValueError: if any endpoint falls outside the signed 32-bit range.
+    """
+    parts: List[bytes] = []
+    pack = _EDGE.pack
+    for u, v in edges:
+        if not (_INT32_MIN <= u <= _INT32_MAX and _INT32_MIN <= v <= _INT32_MAX):
+            raise ValueError(f"edge endpoint out of int32 range: ({u}, {v})")
+        parts.append(pack(u, v))
+    return b"".join(parts)
+
+
+def unpack_edges(data: bytes) -> List[Edge]:
+    """Deserialize bytes produced by :func:`pack_edges`.
+
+    Raises:
+        ValueError: if ``data`` is not a whole number of edge records.
+    """
+    if len(data) % EDGE_BYTES:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of the edge size {EDGE_BYTES}"
+        )
+    return list(_EDGE.iter_unpack(data))
+
+
+def pack_ints(values: Sequence[int]) -> bytes:
+    """Serialize a sequence of 32-bit signed ints (external stack pages)."""
+    parts: List[bytes] = []
+    pack = _INT.pack
+    for value in values:
+        if not _INT32_MIN <= value <= _INT32_MAX:
+            raise ValueError(f"value out of int32 range: {value}")
+        parts.append(pack(value))
+    return b"".join(parts)
+
+
+def unpack_ints(data: bytes) -> List[int]:
+    """Deserialize bytes produced by :func:`pack_ints`."""
+    if len(data) % INT_BYTES:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of the int size {INT_BYTES}"
+        )
+    return [value for (value,) in _INT.iter_unpack(data)]
+
+
+def edges_to_blocks(edges: Iterable[Edge], block_edges: int) -> Iterable[bytes]:
+    """Yield packed blocks of at most ``block_edges`` edges each."""
+    if block_edges <= 0:
+        raise ValueError("block_edges must be positive")
+    buffer: List[Edge] = []
+    for edge in edges:
+        buffer.append(edge)
+        if len(buffer) == block_edges:
+            yield pack_edges(buffer)
+            buffer.clear()
+    if buffer:
+        yield pack_edges(buffer)

@@ -1,0 +1,117 @@
+"""Tests for cut-tree construction (Definition 6.5)."""
+
+import random
+
+from repro.algorithms import build_cut_tree, star_cut
+from repro.core import SpanningTree
+
+
+def random_tree(node_count: int, seed: int) -> SpanningTree:
+    rng = random.Random(seed)
+    tree = SpanningTree()
+    tree.add_node(0)
+    tree.root = 0
+    for node in range(1, node_count):
+        tree.add_node(node)
+        tree.attach(node, rng.randrange(node))
+    return tree
+
+
+def assert_cut_tree_conditions(tree, cut_nodes, expanded):
+    """Definition 6.5: root included; expanded nodes contribute ALL children."""
+    assert tree.root in cut_nodes
+    for node in expanded:
+        for child in tree.children(node):
+            assert child in cut_nodes, (node, child)
+    for node in cut_nodes:
+        if node != tree.root:
+            assert tree.parent[node] in expanded
+
+
+class TestStarCut:
+    def test_star_is_root_plus_children(self):
+        tree = random_tree(30, seed=1)
+        cut_nodes, expanded = star_cut(tree)
+        assert cut_nodes == {0} | set(tree.child_list(0))
+        assert expanded == {0}
+        assert_cut_tree_conditions(tree, cut_nodes, expanded)
+
+    def test_childless_root(self):
+        tree = SpanningTree()
+        tree.add_node(0)
+        tree.root = 0
+        cut_nodes, expanded = star_cut(tree)
+        assert cut_nodes == {0}
+        assert expanded == set()
+
+
+class TestBudgetedCutTree:
+    def test_respects_budget(self):
+        tree = random_tree(200, seed=2)
+        for budget in [4, 16, 100, 400]:
+            cut_nodes, expanded = build_cut_tree(tree, sigma_budget=budget)
+            assert_cut_tree_conditions(tree, cut_nodes, expanded)
+            # the first expansion may overshoot (the root must be expandable);
+            # beyond that the |Tc|^2 <= budget rule holds
+            if len(expanded) > 1:
+                assert len(cut_nodes) ** 2 <= max(budget, 4) or len(expanded) == 1
+
+    def test_large_budget_takes_whole_tree(self):
+        tree = random_tree(40, seed=3)
+        cut_nodes, expanded = build_cut_tree(tree, sigma_budget=10_000)
+        assert cut_nodes == set(range(40))
+
+    def test_grows_deeper_than_star(self):
+        # star stops at the first branching node; the budgeted cut-tree
+        # descends past it
+        tree = SpanningTree()
+        tree.add_node(0)
+        tree.root = 0
+        for node in range(1, 31):
+            tree.add_node(node)
+            tree.attach(node, (node - 1) // 2)  # binary tree
+        star_nodes, star_expanded = star_cut(tree)
+        assert star_nodes == {0, 1, 2}
+        assert star_expanded == {0}
+        td_nodes, _ = build_cut_tree(tree, sigma_budget=400)
+        assert len(td_nodes) > len(star_nodes)
+
+    def test_star_descends_single_child_spine(self):
+        # γ -> a -> b -> {c, d}: the division must happen at b
+        tree = SpanningTree()
+        for node in range(5):
+            tree.add_node(node)
+        tree.root = 0
+        for child, parent in [(1, 0), (2, 1), (3, 2), (4, 2)]:
+            tree.attach(child, parent)
+        cut_nodes, expanded = star_cut(tree)
+        assert cut_nodes == {0, 1, 2, 3, 4}
+        assert expanded == {0, 1, 2}
+
+    def test_budget_monotonicity(self):
+        tree = random_tree(300, seed=4)
+        sizes = [
+            len(build_cut_tree(tree, sigma_budget=budget)[0])
+            for budget in [9, 64, 256, 1024, 10_000]
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_always_contains_star_cut(self):
+        """Divide-TD generalizes Divide-Star: even with the smallest
+        budget, the cut-tree contains the whole star cut."""
+        for seed in range(8):
+            tree = random_tree(120, seed=seed)
+            star_nodes, star_expanded = star_cut(tree)
+            td_nodes, td_expanded = build_cut_tree(tree, sigma_budget=4)
+            assert star_nodes <= td_nodes
+            assert star_expanded <= td_expanded
+
+    def test_growth_is_deterministic(self):
+        tree = random_tree(200, seed=9)
+        first = build_cut_tree(tree, sigma_budget=300)
+        second = build_cut_tree(tree, sigma_budget=300)
+        assert first == second
+
+    def test_empty_tree(self):
+        cut_nodes, expanded = build_cut_tree(SpanningTree(), sigma_budget=100)
+        assert cut_nodes == set() and expanded == set()

@@ -1,0 +1,125 @@
+"""Tests for the DivideConquerDFS framework (Algorithm 2)."""
+
+import os
+
+import pytest
+
+from repro import DiskGraph
+from repro.algorithms import divide_star_dfs, divide_td_dfs
+from repro.errors import ConvergenceError, MemoryBudgetExceeded
+from repro.graph import (
+    Digraph,
+    directed_cycle,
+    disconnected_clusters,
+    grid_graph,
+    power_law_graph,
+    random_dag,
+    random_graph,
+)
+
+from ..conftest import assert_valid_dfs_result
+
+SHAPES = [
+    ("random", lambda: random_graph(150, 4, seed=1)),
+    ("powerlaw", lambda: power_law_graph(200, 4, seed=2)),
+    ("dag", lambda: random_dag(120, 500, seed=3)),
+    ("cycle", lambda: directed_cycle(80)),
+    ("grid", lambda: grid_graph(10, 10)),
+    ("disconnected", lambda: disconnected_clusters([40, 50, 20], seed=4)),
+    ("empty-edges", lambda: Digraph(30)),
+    ("single-node", lambda: Digraph(1)),
+]
+
+
+@pytest.mark.parametrize("name,factory", SHAPES)
+@pytest.mark.parametrize("algorithm", [divide_star_dfs, divide_td_dfs])
+def test_valid_dfs_tree_on_shapes(device, name, factory, algorithm):
+    graph = factory()
+    disk = DiskGraph.from_digraph(device, graph)
+    memory = 3 * max(graph.node_count, 1) + max(64, graph.edge_count // 4)
+    result = algorithm(disk, memory)
+    assert_valid_dfs_result(result, disk, graph)
+
+
+class TestBaseCase:
+    def test_graph_fitting_in_memory_solved_directly(self, device):
+        graph = random_graph(50, 3, seed=5)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = divide_td_dfs(disk, memory=disk.size + 10)
+        assert result.passes == 0
+        assert result.divisions == 0
+        assert result.details.get("inmemory_solves") == 1
+        assert_valid_dfs_result(result, disk, graph)
+
+    def test_single_scan_io_when_in_memory(self, device_factory):
+        device = device_factory(16)
+        graph = random_graph(100, 4, seed=6)
+        disk = DiskGraph.from_digraph(device, graph)
+        before = device.stats.snapshot()
+        divide_td_dfs(disk, memory=disk.size + 10)
+        delta = device.stats.snapshot() - before
+        assert delta.reads == disk.edge_file.block_count
+        assert delta.writes == 0
+
+
+class TestRecursion:
+    def test_divisions_happen_under_pressure(self, device):
+        graph = power_law_graph(500, 5, seed=7)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = divide_td_dfs(disk, memory=3 * 500 + 300)
+        assert result.divisions >= 1
+        assert result.max_depth >= 1
+        assert result.details["parts_created"] >= 2
+
+    def test_part_files_cleaned_up(self, device):
+        graph = power_law_graph(400, 5, seed=8)
+        disk = DiskGraph.from_digraph(device, graph)
+        files_before = set(os.listdir(device.directory))
+        result = divide_td_dfs(disk, memory=3 * 400 + 300)
+        assert result.divisions >= 1
+        files_after = set(os.listdir(device.directory))
+        # only the original graph file remains; all part files deleted
+        assert files_after == files_before
+
+    def test_td_beats_star_on_powerlaw_io(self, device_factory):
+        """The paper's headline ranking on a skewed graph."""
+        graph = power_law_graph(600, 5, seed=9)
+        dev_star, dev_td = device_factory(64), device_factory(64)
+        star = divide_star_dfs(
+            DiskGraph.from_digraph(dev_star, graph), 3 * 600 + 400
+        )
+        td = divide_td_dfs(DiskGraph.from_digraph(dev_td, graph), 3 * 600 + 400)
+        assert td.io.total <= star.io.total
+
+    def test_memory_below_3n_rejected(self, device):
+        graph = random_graph(20, 2, seed=10)
+        disk = DiskGraph.from_digraph(device, graph)
+        with pytest.raises(MemoryBudgetExceeded):
+            divide_td_dfs(disk, 3 * 20 - 1)
+
+    def test_pass_cap_raises(self, device):
+        graph = random_graph(200, 5, seed=11)
+        disk = DiskGraph.from_digraph(device, graph)
+        with pytest.raises(ConvergenceError):
+            divide_td_dfs(disk, 3 * 200 + 120, max_passes=1)
+
+    def test_start_node_first_in_order(self, device):
+        graph = power_law_graph(300, 4, seed=12)
+        disk = DiskGraph.from_digraph(device, graph)
+        for algorithm in (divide_star_dfs, divide_td_dfs):
+            result = algorithm(disk, 3 * 300 + 250, start=42)
+            assert result.order[0] == 42
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, device_factory):
+        graph = power_law_graph(300, 4, seed=13)
+        first = divide_td_dfs(
+            DiskGraph.from_digraph(device_factory(32), graph), 3 * 300 + 200
+        )
+        second = divide_td_dfs(
+            DiskGraph.from_digraph(device_factory(32), graph), 3 * 300 + 200
+        )
+        assert first.order == second.order
+        assert first.io == second.io
+        assert first.passes == second.passes

@@ -1,0 +1,151 @@
+"""Tests for the division core: the four validity properties of Section 5.
+
+node-coverage, contractibility, independence (edge-disjointness, Theorem
+5.1), and DFS-preservability (Σ is a DAG, Theorem 6.1) are asserted for
+real divisions produced on random graphs.
+"""
+
+import random
+
+import pytest
+
+from repro import DiskGraph, MemoryBudget
+from repro.algorithms import (
+    divide_with_cut,
+    initial_star_tree,
+    restructure,
+    star_cut,
+    build_cut_tree,
+)
+from repro.core.tree import VirtualNodeAllocator
+from repro.graph import random_graph, power_law_graph
+
+
+def prepared_division(device, graph, memory, cut="star", seed_passes=2):
+    """Restructure a couple of passes, then attempt one division."""
+    disk = DiskGraph.from_digraph(device, graph)
+    allocator = VirtualNodeAllocator(graph.node_count)
+    tree = initial_star_tree(disk, allocator)
+    budget = MemoryBudget(memory)
+    budget.charge("tree", budget.tree_charge(graph.node_count))
+    for _ in range(seed_passes):
+        outcome = restructure(disk.edge_file, tree, budget)
+        tree = outcome.tree
+        if not outcome.update:
+            break
+    if cut == "star":
+        cut_nodes, expanded = star_cut(tree)
+    else:
+        cut_nodes, expanded = build_cut_tree(tree, sigma_budget=budget.available)
+    division = divide_with_cut(disk.edge_file, tree, cut_nodes, expanded, allocator)
+    return disk, tree, division
+
+
+@pytest.fixture(params=["star", "td"])
+def cut_kind(request):
+    return request.param
+
+
+class TestValidityProperties:
+    def make(self, device, cut_kind, seed=11):
+        graph = power_law_graph(400, 4, seed=seed)
+        disk, tree, division = prepared_division(
+            device, graph, 3 * 400 + 400, cut=cut_kind
+        )
+        assert division is not None, "expected a valid division on this input"
+        return graph, disk, tree, division
+
+    def test_node_coverage(self, device, cut_kind):
+        """V(G_0) ∪ V(G_1) ∪ ... = V(G)   (plus virtual helpers)."""
+        graph, disk, tree, division = self.make(device, cut_kind)
+        covered = {n for n in division.t0.nodes if not division.t0.is_virtual(n)}
+        for part in division.parts:
+            covered.update(part.real_nodes)
+        assert covered == set(range(graph.node_count))
+
+    def test_contractible(self, device, cut_kind):
+        """Every part is strictly smaller than the whole graph."""
+        graph, disk, tree, division = self.make(device, cut_kind)
+        for part in division.parts:
+            assert len(part.real_nodes) < graph.node_count
+
+    def test_independence_edge_disjoint(self, device, cut_kind):
+        """Theorem 5.1: part edge sets are pairwise disjoint (by routing:
+        every edge lands in at most one part file)."""
+        graph, disk, tree, division = self.make(device, cut_kind)
+        seen_budget = {}
+        total_routed = 0
+        original = list(disk.scan())
+        multiset = {}
+        for e in original:
+            multiset[e] = multiset.get(e, 0) + 1
+        for part in division.parts:
+            for edge in part.edge_file.scan():
+                assert multiset.get(edge, 0) > 0, f"edge {edge} over-assigned"
+                multiset[edge] -= 1
+                total_routed += 1
+        assert total_routed <= len(original)
+
+    def test_parts_contain_exactly_internal_edges(self, device, cut_kind):
+        graph, disk, tree, division = self.make(device, cut_kind)
+        for part in division.parts:
+            members = set(part.real_nodes)
+            part_edges = list(part.edge_file.scan())
+            expected = [
+                (u, v) for u, v in disk.scan() if u in members and v in members
+            ]
+            assert part_edges == expected
+
+    def test_parts_share_only_roots(self, device, cut_kind):
+        """Root-based division: V(G_i) ∩ V(G_j) = ∅ for i, j >= 1."""
+        graph, disk, tree, division = self.make(device, cut_kind)
+        seen = set()
+        for part in division.parts:
+            members = set(part.real_nodes)
+            assert not (members & seen)
+            seen.update(members)
+
+    def test_sigma_is_dag(self, device, cut_kind):
+        """Theorem 6.1: the division is DFS-preservable iff Σ is a DAG."""
+        graph, disk, tree, division = self.make(device, cut_kind)
+        assert division.sigma.is_dag()
+
+    def test_sigma_nodes_equal_t0(self, device, cut_kind):
+        graph, disk, tree, division = self.make(device, cut_kind)
+        assert division.sigma.nodes == set(division.t0.nodes)
+
+    def test_part_roots_are_t0_leaves(self, device, cut_kind):
+        graph, disk, tree, division = self.make(device, cut_kind)
+        leaves = {
+            n for n in division.t0.preorder() if division.t0.first_child[n] is None
+        }
+        assert {part.root for part in division.parts} == leaves
+
+    def test_part_trees_are_subtrees_of_t(self, device, cut_kind):
+        graph, disk, tree, division = self.make(device, cut_kind)
+        for part in division.parts:
+            for node in part.tree.preorder():
+                if node == part.root:
+                    continue
+                assert part.tree.parent[node] == tree.parent[node]
+
+
+class TestInvalidDivisions:
+    def test_single_child_root_returns_none(self, device):
+        # a pure path: after restructure, γ has one child -> no division
+        edges = [(i, i + 1) for i in range(49)]
+        graph_nodes = 50
+        from repro.graph import Digraph
+
+        graph = Digraph.from_edges(graph_nodes, edges)
+        disk, tree, division = prepared_division(
+            device, graph, 3 * graph_nodes + 10, cut="star", seed_passes=1
+        )
+        assert division is None
+
+    def test_empty_cut_returns_none(self, device):
+        graph = random_graph(30, 3, seed=5)
+        disk = DiskGraph.from_digraph(device, graph)
+        allocator = VirtualNodeAllocator(30)
+        tree = initial_star_tree(disk, allocator)
+        assert divide_with_cut(disk.edge_file, tree, {tree.root}, set(), allocator) is None

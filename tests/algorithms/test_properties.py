@@ -1,0 +1,114 @@
+"""End-to-end property-based tests: every algorithm, arbitrary digraphs.
+
+The single most important invariant of the whole library (DESIGN.md §7):
+for ANY directed graph and ANY admissible memory budget, each of the four
+algorithms must return a genuine DFS forest — spanning, forward-cross-free
+on a full disk scan, real tree edges — and all four must agree that such a
+tree exists.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BlockDevice, DiskGraph
+from repro.algorithms import (
+    divide_star_dfs,
+    divide_td_dfs,
+    edge_by_batch,
+    edge_by_edge,
+)
+from repro.graph import Digraph
+
+from ..conftest import assert_valid_dfs_result
+
+ALGORITHMS = [edge_by_edge, edge_by_batch, divide_star_dfs, divide_td_dfs]
+
+
+@st.composite
+def digraphs(draw):
+    """Arbitrary small digraphs, including self-loops and duplicates."""
+    node_count = draw(st.integers(min_value=1, max_value=40))
+    edge_count = draw(st.integers(min_value=0, max_value=4 * node_count))
+    node = st.integers(min_value=0, max_value=node_count - 1)
+    edges = draw(
+        st.lists(st.tuples(node, node), min_size=edge_count, max_size=edge_count)
+    )
+    return Digraph.from_edges(node_count, edges)
+
+
+@st.composite
+def digraphs_with_budget(draw):
+    graph = draw(digraphs())
+    slack = draw(st.integers(min_value=1, max_value=2 * graph.node_count + 40))
+    return graph, 3 * graph.node_count + slack
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@common_settings
+@given(digraphs_with_budget())
+def test_edge_by_edge_always_valid(case):
+    graph, memory = case
+    with BlockDevice(block_elements=16) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        assert_valid_dfs_result(edge_by_edge(disk, memory), disk, graph)
+
+
+@common_settings
+@given(digraphs_with_budget())
+def test_edge_by_batch_always_valid(case):
+    graph, memory = case
+    with BlockDevice(block_elements=16) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        assert_valid_dfs_result(edge_by_batch(disk, memory), disk, graph)
+
+
+@common_settings
+@given(digraphs_with_budget())
+def test_divide_star_always_valid(case):
+    graph, memory = case
+    with BlockDevice(block_elements=16) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        assert_valid_dfs_result(divide_star_dfs(disk, memory), disk, graph)
+
+
+@common_settings
+@given(digraphs_with_budget())
+def test_divide_td_always_valid(case):
+    graph, memory = case
+    with BlockDevice(block_elements=16) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        assert_valid_dfs_result(divide_td_dfs(disk, memory), disk, graph)
+
+
+@common_settings
+@given(digraphs())
+def test_all_algorithms_agree_on_start_node(graph):
+    """With a fixed start node, every algorithm's order begins there."""
+    start = graph.node_count - 1
+    memory = 3 * graph.node_count + 50
+    with BlockDevice(block_elements=16) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        for algorithm in ALGORITHMS:
+            result = algorithm(disk, memory, start=start)
+            assert result.order[0] == start
+
+
+@common_settings
+@given(digraphs())
+def test_order_is_tree_preorder(graph):
+    """DFSResult.order must equal the tree's real-node preorder."""
+    memory = 3 * graph.node_count + 60
+    with BlockDevice(block_elements=16) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        for algorithm in (edge_by_batch, divide_td_dfs):
+            result = algorithm(disk, memory)
+            preorder = [
+                n for n in result.tree.preorder() if not result.tree.is_virtual(n)
+            ]
+            assert result.order == preorder

@@ -1,0 +1,82 @@
+"""Tests for run tracing and checkpoint/resume."""
+
+import pytest
+
+from repro import DiskGraph
+from repro.algorithms import divide_td_dfs, edge_by_batch
+from repro.core import load_tree, verify_dfs_tree
+from repro.errors import ConvergenceError
+from repro.graph import power_law_graph
+
+
+class TestTrace:
+    def test_trace_off_by_default(self, device):
+        graph = power_law_graph(300, 4, seed=1)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = divide_td_dfs(disk, 3 * 300 + 200)
+        assert result.trace == []
+
+    def test_trace_records_levels(self, device):
+        graph = power_law_graph(500, 5, seed=2)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = divide_td_dfs(disk, 3 * 500 + 300, trace=True)
+        events = {entry["event"] for entry in result.trace}
+        assert "restructure" in events
+        if result.divisions:
+            assert "division" in events
+            division_events = [
+                e for e in result.trace if e["event"] == "division"
+            ]
+            assert len(division_events) == result.divisions
+            for entry in division_events:
+                assert entry["parts"] >= 2
+                assert len(entry["part_sizes"]) == entry["parts"]
+        if result.details.get("inmemory_solves"):
+            assert "inmemory" in events
+
+    def test_trace_depths_consistent(self, device):
+        graph = power_law_graph(500, 5, seed=3)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = divide_td_dfs(disk, 3 * 500 + 300, trace=True)
+        max_traced = max((e["depth"] for e in result.trace), default=0)
+        assert max_traced == result.max_depth
+
+
+class TestCheckpointResume:
+    def test_checkpoint_written_and_recorded(self, device):
+        graph = power_law_graph(300, 4, seed=4)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = edge_by_batch(disk, 3 * 300 + 200, checkpoint_every=1)
+        assert result.passes >= 1
+        assert "checkpoint" in result.details
+        restored = load_tree(device, result.details["checkpoint"])
+        assert restored.root == result.tree.root
+
+    def test_interrupted_run_resumes_to_valid_tree(self, device):
+        graph = power_law_graph(400, 5, seed=5)
+        disk = DiskGraph.from_digraph(device, graph)
+        with pytest.raises(ConvergenceError) as exc_info:
+            edge_by_batch(disk, 3 * 400 + 150, max_passes=2, checkpoint_every=1)
+        path = exc_info.value.checkpoint_path
+        assert path
+
+        restored = load_tree(device, path)
+        resumed = edge_by_batch(disk, 3 * 400 + 150, initial_tree=restored)
+        assert verify_dfs_tree(disk, resumed.tree).ok
+        # resuming skips the work the first run already did
+        full = edge_by_batch(disk, 3 * 400 + 150)
+        assert resumed.passes <= full.passes
+
+    def test_resume_excludes_start_and_order(self, device):
+        graph = power_law_graph(100, 3, seed=6)
+        disk = DiskGraph.from_digraph(device, graph)
+        first = edge_by_batch(disk, 3 * 100 + 100, checkpoint_every=1)
+        restored = load_tree(device, first.details["checkpoint"])
+        with pytest.raises(ValueError):
+            edge_by_batch(disk, 3 * 100 + 100, initial_tree=restored, start=3)
+
+    def test_no_checkpoint_without_option(self, device):
+        graph = power_law_graph(150, 3, seed=7)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = edge_by_batch(disk, 3 * 150 + 150)
+        assert "checkpoint" not in result.details

@@ -1,0 +1,68 @@
+"""Tests for semi-external bipartiteness testing."""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BlockDevice, DiskGraph
+from repro.apps import check_bipartite
+from repro.graph import Digraph, directed_cycle, grid_graph, random_graph
+
+
+class TestBipartite:
+    def test_grid_is_bipartite_with_valid_coloring(self, device):
+        graph = grid_graph(6, 5)
+        disk = DiskGraph.from_digraph(device, graph)
+        report = check_bipartite(disk, memory=3 * 30 + 80)
+        assert report.bipartite
+        assert report.odd_edge is None
+        for u, v in graph.edges():
+            assert report.coloring[u] != report.coloring[v]
+
+    def test_even_cycle_bipartite(self, device):
+        disk = DiskGraph.from_digraph(device, directed_cycle(10))
+        assert check_bipartite(disk, memory=3 * 10 + 40).bipartite
+
+    def test_odd_cycle_not_bipartite(self, device):
+        disk = DiskGraph.from_digraph(device, directed_cycle(9))
+        report = check_bipartite(disk, memory=3 * 9 + 40)
+        assert not report.bipartite
+        assert report.coloring is None
+        assert report.odd_edge is not None
+
+    def test_triangle_witness_edge_is_real(self, device):
+        graph = Digraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        disk = DiskGraph.from_digraph(device, graph)
+        report = check_bipartite(disk, memory=3 * 3 + 30)
+        assert not report.bipartite
+        u, v = report.odd_edge
+        symmetric = set(graph.edges()) | {(b, a) for a, b in graph.edges()}
+        assert (u, v) in symmetric
+
+    def test_edgeless_graph_bipartite(self, device):
+        disk = DiskGraph.from_digraph(device, Digraph(5))
+        report = check_bipartite(disk, memory=3 * 5 + 20)
+        assert report.bipartite
+
+    def test_temporary_symmetric_file_cleaned(self, device):
+        import os
+
+        graph = grid_graph(4, 4)
+        disk = DiskGraph.from_digraph(device, graph)
+        before = set(os.listdir(device.directory))
+        check_bipartite(disk, memory=3 * 16 + 60)
+        assert set(os.listdir(device.directory)) == before
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=2, max_value=25), st.integers(0, 99))
+    def test_property_matches_networkx(self, node_count, seed):
+        graph = random_graph(node_count, 1.5, seed=seed)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(node_count))
+        nx_graph.add_edges_from(graph.edges())
+        expected = nx.is_bipartite(nx_graph)
+        with BlockDevice(block_elements=16) as device:
+            disk = DiskGraph.from_digraph(device, graph)
+            report = check_bipartite(disk, memory=3 * node_count + 60)
+        assert report.bipartite == expected

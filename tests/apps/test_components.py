@@ -1,0 +1,125 @@
+"""Tests for weakly/strongly connected components on disk graphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BlockDevice, DiskGraph
+from repro.apps import (
+    UnionFind,
+    strongly_connected_components,
+    weakly_connected_components,
+)
+from repro.graph import (
+    Digraph,
+    directed_cycle,
+    disconnected_clusters,
+    random_graph,
+    twitter2010_like,
+)
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        dsu = UnionFind(5)
+        assert dsu.union(0, 1)
+        assert dsu.union(1, 2)
+        assert not dsu.union(0, 2)  # already merged
+        assert dsu.find(0) == dsu.find(2)
+        assert dsu.find(3) != dsu.find(0)
+
+    def test_union_by_size_keeps_large_root(self):
+        dsu = UnionFind(6)
+        dsu.union(0, 1)
+        dsu.union(0, 2)
+        root_large = dsu.find(0)
+        dsu.union(3, 4)
+        dsu.union(0, 3)
+        assert dsu.find(3) == root_large
+
+
+class TestWeaklyConnected:
+    def test_disconnected_clusters(self, device):
+        graph = disconnected_clusters([30, 20, 10], intra_degree=3, seed=1)
+        disk = DiskGraph.from_digraph(device, graph)
+        components = weakly_connected_components(disk)
+        sizes = sorted(len(c) for c in components)
+        # intra_degree 3 makes each cluster (very likely) weakly connected
+        assert sum(sizes) == 60
+        assert len(components) >= 3
+
+    def test_ordering_largest_first(self, device):
+        graph = disconnected_clusters([5, 40], intra_degree=3, seed=2)
+        disk = DiskGraph.from_digraph(device, graph)
+        components = weakly_connected_components(disk)
+        assert len(components[0]) >= len(components[-1])
+
+    def test_matches_networkx(self, device):
+        graph = random_graph(100, 1, seed=3)  # sparse -> several components
+        disk = DiskGraph.from_digraph(device, graph)
+        mine = sorted(sorted(c) for c in weakly_connected_components(disk))
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(100))
+        nx_graph.add_edges_from(graph.edges())
+        theirs = sorted(sorted(c) for c in nx.connected_components(nx_graph))
+        assert mine == theirs
+
+
+class TestStronglyConnected:
+    def oracle(self, graph):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(range(graph.node_count))
+        nx_graph.add_edges_from(graph.edges())
+        return sorted(sorted(c) for c in nx.strongly_connected_components(nx_graph))
+
+    def test_cycle_is_one_scc(self, device):
+        disk = DiskGraph.from_digraph(device, directed_cycle(25))
+        components = strongly_connected_components(disk, memory=3 * 25 + 60)
+        assert len(components) == 1
+        assert sorted(components[0]) == list(range(25))
+
+    def test_matches_networkx_on_random(self, device):
+        graph = random_graph(150, 3, seed=4)
+        disk = DiskGraph.from_digraph(device, graph)
+        mine = sorted(
+            sorted(c)
+            for c in strongly_connected_components(disk, memory=3 * 150 + 200)
+        )
+        assert mine == self.oracle(graph)
+
+    def test_twitter_standin_giant_scc(self, device):
+        spec = twitter2010_like(scale=0.03)
+        graph = Digraph.from_edges(spec.node_count, spec.edges())
+        disk = DiskGraph.from_digraph(device, graph)
+        components = strongly_connected_components(
+            disk, memory=3 * spec.node_count + spec.node_count
+        )
+        assert len(components[0]) / spec.node_count == pytest.approx(0.804, abs=0.05)
+
+    @pytest.mark.parametrize("first_pass", ["edge-by-batch", "divide-td"])
+    def test_first_pass_algorithm_interchangeable(self, device, first_pass):
+        graph = random_graph(80, 3, seed=5)
+        disk = DiskGraph.from_digraph(device, graph)
+        mine = sorted(
+            sorted(c)
+            for c in strongly_connected_components(
+                disk, memory=3 * 80 + 150, first_pass_algorithm=first_pass
+            )
+        )
+        assert mine == self.oracle(graph)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=2, max_value=30), st.integers(0, 99))
+    def test_property_matches_networkx(self, node_count, seed):
+        graph = random_graph(node_count, 2, seed=seed)
+        with BlockDevice(block_elements=16) as device:
+            disk = DiskGraph.from_digraph(device, graph)
+            mine = sorted(
+                sorted(c)
+                for c in strongly_connected_components(
+                    disk, memory=3 * node_count + 60
+                )
+            )
+        assert mine == self.oracle(graph)

@@ -1,0 +1,135 @@
+"""Tests for semi-external planarity testing (LR algorithm + Euler filter)."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BlockDevice, DiskGraph
+from repro.apps.planarity import check_planarity, lr_planarity
+from repro.graph import Digraph, directed_cycle, grid_graph, random_graph
+
+
+def nx_planar(node_count, edges):
+    graph = nx.Graph()
+    graph.add_nodes_from(range(node_count))
+    graph.add_edges_from((u, v) for u, v in edges if u != v)
+    return nx.check_planarity(graph)[0]
+
+
+K5 = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+K33 = [(i, j + 3) for i in range(3) for j in range(3)]
+
+
+class TestLRKnownGraphs:
+    def test_k5_not_planar(self):
+        assert not lr_planarity(5, K5)
+
+    def test_k33_not_planar(self):
+        assert not lr_planarity(6, K33)
+
+    def test_k4_planar(self):
+        k4 = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        assert lr_planarity(4, k4)
+
+    def test_grid_planar(self):
+        graph = grid_graph(8, 8)
+        assert lr_planarity(64, list(graph.edges()))
+
+    def test_cycle_planar(self):
+        graph = directed_cycle(30)
+        assert lr_planarity(30, list(graph.edges()))
+
+    def test_wheel_planar_and_k5_minor_not(self):
+        wheel = nx.wheel_graph(10)
+        assert lr_planarity(10, list(wheel.edges()))
+
+    def test_petersen_not_planar(self):
+        petersen = nx.petersen_graph()
+        assert not lr_planarity(10, list(petersen.edges()))
+
+    def test_empty_and_tiny(self):
+        assert lr_planarity(0, [])
+        assert lr_planarity(1, [])
+        assert lr_planarity(2, [(0, 1)])
+
+    def test_self_loops_and_duplicates_ignored(self):
+        assert lr_planarity(3, [(0, 0), (0, 1), (0, 1), (1, 0), (1, 2)])
+
+    def test_k5_plus_isolated_nodes(self):
+        assert not lr_planarity(20, K5)
+
+    def test_disjoint_k5s(self):
+        shifted = [(u + 5, v + 5) for u, v in K5]
+        assert not lr_planarity(10, K5 + shifted)
+        # planar component + K5 is still non-planar
+        assert not lr_planarity(10, K5 + [(5, 6), (6, 7)])
+
+
+class TestLRAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_boundary_density_random(self, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        node_count = rng.randint(5, 50)
+        target = rng.randint(node_count, max(node_count, 3 * node_count - 6))
+        edges = set()
+        while len(edges) < target:
+            u, v = rng.randrange(node_count), rng.randrange(node_count)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        edges = list(edges)
+        assert lr_planarity(node_count, edges) == nx_planar(node_count, edges)
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_property_matches_networkx(self, data):
+        node_count = data.draw(st.integers(min_value=1, max_value=14))
+        node = st.integers(min_value=0, max_value=node_count - 1)
+        edges = data.draw(
+            st.lists(st.tuples(node, node), max_size=3 * node_count)
+        )
+        assert lr_planarity(node_count, edges) == nx_planar(node_count, edges)
+
+
+class TestSemiExternalCheck:
+    def test_euler_filter_rejects_without_loading(self, device):
+        # a dense multigraph: m_simple > 3n - 6
+        node_count = 10
+        edges = [(u, v) for u in range(10) for v in range(10) if u != v]
+        disk = DiskGraph.from_edges(device, node_count, edges)
+        report = check_planarity(disk)
+        assert not report.planar
+        assert not report.loaded
+        assert "Euler" in report.reason
+        assert report.simple_edge_count == 45
+
+    def test_sparse_planar_graph(self, device):
+        graph = grid_graph(6, 6)
+        disk = DiskGraph.from_digraph(device, graph)
+        report = check_planarity(disk)
+        assert report.planar
+        assert report.loaded
+
+    def test_sparse_nonplanar_graph(self, device):
+        disk = DiskGraph.from_edges(device, 6, K33)
+        report = check_planarity(disk)
+        assert not report.planar
+        assert report.loaded  # 9 <= 3*6-6: the scan alone cannot decide
+
+    def test_temporary_files_cleaned(self, device):
+        import os
+
+        disk = DiskGraph.from_digraph(device, grid_graph(4, 4))
+        before = set(os.listdir(device.directory))
+        check_planarity(disk)
+        assert set(os.listdir(device.directory)) == before
+
+    def test_duplicates_collapse_before_euler_bound(self, device):
+        # 100 copies of one edge: simple count is 1 -> planar
+        disk = DiskGraph.from_edges(device, 2, [(0, 1)] * 100)
+        report = check_planarity(disk)
+        assert report.planar
+        assert report.simple_edge_count == 1

@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness (cell runner + DNF semantics)."""
+
+import pytest
+
+from repro.bench import CellResult, run_cell, run_series
+from repro.graph import random_graph
+
+
+class TestRunCell:
+    def test_successful_cell(self):
+        graph = random_graph(100, 3, seed=1)
+        cell = run_cell(
+            x="p1",
+            algorithm="divide-td",
+            node_count=100,
+            edges=list(graph.edges()),
+            memory=3 * 100 + 150,
+            block_elements=64,
+        )
+        assert not cell.dnf
+        assert cell.algorithm == "divide-td"
+        assert cell.x == "p1"
+        assert cell.node_count == 100
+        assert cell.edge_count == graph.edge_count
+        assert cell.ios > 0
+        assert cell.time_seconds > 0
+
+    def test_dnf_on_tiny_deadline(self):
+        graph = random_graph(400, 5, seed=2)
+        cell = run_cell(
+            x=1,
+            algorithm="edge-by-batch",
+            node_count=400,
+            edges=list(graph.edges()),
+            memory=3 * 400 + 100,
+            dnf_seconds=0.001,
+            block_elements=64,
+        )
+        assert cell.dnf
+        assert cell.passes == 0
+
+    def test_start_node_forwarded(self):
+        graph = random_graph(60, 3, seed=3)
+        cell = run_cell(
+            x=0,
+            algorithm="divide-td",
+            node_count=60,
+            edges=list(graph.edges()),
+            memory=3 * 60 + 100,
+            start=42,
+        )
+        assert not cell.dnf
+
+    def test_timeout_env_default(self, monkeypatch):
+        from repro.bench import default_dnf_seconds
+
+        monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "123.5")
+        assert default_dnf_seconds() == 123.5
+
+    def test_run_series_cross_product(self):
+        calls = []
+
+        def cell(x, algorithm):
+            calls.append((x, algorithm))
+            return CellResult(
+                x=x, algorithm=algorithm, time_seconds=0.0, ios=0,
+                passes=0, divisions=0, node_count=0, edge_count=0,
+            )
+
+        rows = run_series([1, 2], ["a", "b"], cell)
+        assert len(rows) == 4
+        assert calls == [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+
+class TestExperimentDefinitions:
+    def test_table1_parameters_match_paper(self):
+        from repro.bench import SYNTHETIC_PARAMETERS as params
+
+        assert params["node_sizes"] == [30_000, 40_000, 50_000, 60_000, 70_000]
+        assert params["degrees"] == [3, 4, 5, 6, 7]
+        assert params["power_law_ness"] == [0.25, 0.5, 1.0, 2.0, 4.0]
+        assert params["memory_gb"] == [0.5, 0.75, 1.0, 1.25, 1.5]
+        assert params["default_nodes"] == 50_000
+        assert params["default_degree"] == 5
+
+    def test_memory_mapping_respects_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+        from repro.bench import default_nodes, memory_for_gb
+
+        n = default_nodes()
+        for gb in [0.5, 0.75, 1.0, 1.25, 1.5]:
+            assert memory_for_gb(gb) >= 3 * n
+
+    def test_memory_mapping_monotone(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+        from repro.bench import memory_for_gb
+
+        values = [memory_for_gb(gb) for gb in [0.5, 0.75, 1.0, 1.25, 1.5]]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_scale_env(self, monkeypatch):
+        from repro.bench import bench_scale, default_nodes
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.02")
+        assert bench_scale() == 0.02
+        assert default_nodes() == 1000
+
+    def test_exp1_memory_covers_webspam_tree(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        from repro.bench import exp1_memory, real_dataset_specs
+
+        webspam = real_dataset_specs()["webspam-uk2007"]
+        assert exp1_memory() >= 3 * webspam.node_count
+
+    def test_workload_block_elements(self):
+        from repro.bench.experiments import workload_block_elements
+
+        assert workload_block_elements(512 * 1000) == 1000
+        assert workload_block_elements(10) == 64  # floor
+
+    @pytest.mark.slow
+    def test_tiny_experiment_end_to_end(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.004")
+        monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "10")
+        from repro.bench import exp3_vary_degree
+
+        rows = exp3_vary_degree("power-law")
+        assert len(rows) == 5 * 3  # 5 degrees x 3 algorithms
+        assert all(cell.ios > 0 or cell.dnf for cell in rows)

@@ -1,0 +1,66 @@
+"""Tests for the paper-shaped table rendering."""
+
+from repro.bench import ALGORITHM_LABELS, CellResult, render_csv, render_experiment
+
+
+def cell(x, algorithm, time_seconds=1.0, ios=10, dnf=False):
+    return CellResult(
+        x=x, algorithm=algorithm, time_seconds=time_seconds, ios=ios,
+        passes=3, divisions=1, node_count=100, edge_count=500, dnf=dnf,
+    )
+
+
+class TestRenderExperiment:
+    def test_panels_present(self):
+        rows = [cell("20%", "edge-by-batch"), cell("20%", "divide-td")]
+        text = render_experiment("Fig.X", rows, "|E| kept")
+        assert "Fig.X (a) Processing Time (s)" in text
+        assert "Fig.X (b) # of I/Os (blocks)" in text
+        assert "restructure passes" in text
+
+    def test_paper_legend_names(self):
+        rows = [
+            cell("20%", "edge-by-batch"),
+            cell("20%", "divide-star"),
+            cell("20%", "divide-td"),
+        ]
+        text = render_experiment("F", rows, "x")
+        assert "SEMI-DFS" in text
+        assert "Divide-Star" in text
+        assert "Divide-TD" in text
+        assert ALGORITHM_LABELS["edge-by-batch"] == "SEMI-DFS"
+
+    def test_dnf_rendering(self):
+        rows = [cell("20%", "edge-by-batch", dnf=True), cell("20%", "divide-td")]
+        text = render_experiment("F", rows, "x")
+        assert "DNF" in text
+
+    def test_row_order_follows_sweep(self):
+        rows = [cell("20%", "a"), cell("40%", "a"), cell("100%", "a")]
+        text = render_experiment("F", rows, "x")
+        body = text.splitlines()
+        position = {line.split()[0]: i for i, line in enumerate(body) if line}
+        assert position["20%"] < position["40%"] < position["100%"]
+
+    def test_missing_cell_rendered_as_dash(self):
+        rows = [
+            cell("20%", "a"),
+            cell("40%", "a"),
+            cell("20%", "b"),  # no 40% cell for b
+        ]
+        text = render_experiment("F", rows, "x")
+        forty_line = next(l for l in text.splitlines() if l.startswith("40%"))
+        assert forty_line.split()[-1] == "-"
+
+
+class TestRenderCSV:
+    def test_header_and_rows(self):
+        rows = [cell("20%", "divide-td", time_seconds=1.2345, ios=42)]
+        csv = render_csv(rows)
+        lines = csv.splitlines()
+        assert lines[0].startswith("x,algorithm,time_seconds,ios")
+        assert "20%,divide-td,1.2345,42,3,1,100,500,0" in lines[1]
+
+    def test_dnf_flag(self):
+        csv = render_csv([cell("20%", "a", dnf=True)])
+        assert csv.splitlines()[1].endswith(",1")

@@ -1,0 +1,100 @@
+"""Shared fixtures and validation helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BlockDevice, DiskGraph
+from repro.core import check_spanning_tree, verify_dfs_tree
+from repro.core.tree import SpanningTree
+from repro.graph.digraph import Digraph
+
+
+@pytest.fixture
+def device():
+    """A small-block device (so block-level behaviour shows up at test sizes)."""
+    with BlockDevice(block_elements=32) as dev:
+        yield dev
+
+
+@pytest.fixture
+def device_factory():
+    """Create devices with custom block sizes; all closed on teardown."""
+    created = []
+
+    def make(block_elements: int = 32) -> BlockDevice:
+        dev = BlockDevice(block_elements=block_elements)
+        created.append(dev)
+        return dev
+
+    yield make
+    for dev in created:
+        dev.close()
+
+
+def disk_graph_of(device: BlockDevice, graph: Digraph) -> DiskGraph:
+    """Materialize an in-memory digraph on the given device."""
+    return DiskGraph.from_digraph(device, graph)
+
+
+def tree_edges_are_real(tree: SpanningTree, graph: Digraph) -> bool:
+    """Every tree edge whose parent is a real node must be a graph edge.
+
+    This is the invariant that makes the result a *genuine* DFS forest
+    (virtual nodes stand for the free restarts of the virtual root).
+    """
+    edge_set = set(graph.edges())
+    for parent, child in tree.tree_edges():
+        if not tree.is_virtual(parent) and (parent, child) not in edge_set:
+            return False
+    return True
+
+
+def assert_valid_dfs_result(result, disk_graph: DiskGraph, graph: Digraph) -> None:
+    """Full validity check for a :class:`DFSResult`.
+
+    Asserts: the tree spans exactly the real nodes, the order is a
+    permutation of ``V``, no forward-cross edges exist on a full disk scan,
+    and every real-parent tree edge is a real graph edge.
+    """
+    node_count = graph.node_count
+    structure = check_spanning_tree(result.tree, range(node_count))
+    assert structure.ok, structure.problems
+    assert sorted(result.order) == list(range(node_count))
+    report = verify_dfs_tree(disk_graph, result.tree)
+    assert report.ok, (
+        f"{report.forward_cross_count} forward-cross edges remain, "
+        f"first: {report.first_offender}"
+    )
+    assert tree_edges_are_real(result.tree, graph), "tree contains a fake edge"
+
+
+def reference_dfs_preorder(graph: Digraph, priority=None) -> list:
+    """A straightforward recursive-style reference DFS (iterative impl).
+
+    Visits γ's children in ``priority`` order (node id order by default)
+    and each node's out-neighbors in adjacency order.  Used as an oracle
+    for the in-memory DFS.
+    """
+    order = []
+    visited = [False] * graph.node_count
+    roots = list(priority) if priority is not None else range(graph.node_count)
+    for root in roots:
+        if visited[root]:
+            continue
+        visited[root] = True
+        order.append(root)
+        frames = [(root, iter(graph.out_neighbors(root)))]
+        while frames:
+            node, neighbors = frames[-1]
+            advanced = False
+            for target in neighbors:
+                if not visited[target]:
+                    visited[target] = True
+                    order.append(target)
+                    frames.append((target, iter(graph.out_neighbors(target))))
+                    advanced = True
+                    break
+            if not advanced:
+                frames.pop()
+    return order

@@ -1,0 +1,150 @@
+"""Tests for the in-memory algorithms (DFS, Tarjan SCC, topological sort)."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SpanningTree,
+    dfs_preferring_tree,
+    tarjan_scc,
+    topological_sort,
+    verify_dfs_tree_inmemory,
+)
+from repro.errors import InvalidGraphError, NotADAGError
+from repro.graph import Digraph, random_graph
+
+from ..conftest import reference_dfs_preorder
+
+
+def star_and_adjacency(graph: Digraph):
+    tree = SpanningTree.initial_star(range(graph.node_count), graph.node_count)
+    extra = {u: list(graph.out_neighbors(u)) for u in range(graph.node_count)}
+    return tree, extra
+
+
+class TestDFSPreferringTree:
+    def test_matches_reference_dfs_from_star(self):
+        """From the initial star, the DFS equals a plain priority DFS."""
+        graph = random_graph(60, 3, seed=1)
+        tree, extra = star_and_adjacency(graph)
+        result = dfs_preferring_tree(tree, extra)
+        preorder = [n for n in result.preorder() if n != graph.node_count]
+        assert preorder == reference_dfs_preorder(graph)
+
+    def test_result_has_no_forward_cross_edges(self):
+        graph = random_graph(80, 4, seed=2)
+        tree, extra = star_and_adjacency(graph)
+        result = dfs_preferring_tree(tree, extra)
+        assert verify_dfs_tree_inmemory(graph, result).ok
+
+    def test_no_extra_edges_reproduces_tree(self):
+        """With an empty batch, the DFS must reproduce the tree exactly."""
+        graph = random_graph(40, 3, seed=3)
+        tree, extra = star_and_adjacency(graph)
+        first = dfs_preferring_tree(tree, extra)
+        second = dfs_preferring_tree(first, {})
+        assert list(second.preorder()) == list(first.preorder())
+        assert second.parent == first.parent
+
+    def test_virtual_flags_preserved(self):
+        graph = random_graph(20, 2, seed=4)
+        tree, extra = star_and_adjacency(graph)
+        result = dfs_preferring_tree(tree, extra)
+        assert result.is_virtual(graph.node_count)
+        assert result.root == graph.node_count
+
+    def test_rootless_tree_rejected(self):
+        tree = SpanningTree()
+        tree.add_node(0)
+        with pytest.raises(InvalidGraphError):
+            dfs_preferring_tree(tree, {})
+
+    def test_external_stack_variant_gives_same_tree(self, device):
+        graph = random_graph(100, 4, seed=5)
+        tree, extra = star_and_adjacency(graph)
+        plain = dfs_preferring_tree(tree, extra)
+        spilled = dfs_preferring_tree(tree, extra, stack_device=device)
+        assert list(spilled.preorder()) == list(plain.preorder())
+        assert device.stats.total >= 0  # stack I/O charged to the device
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=99))
+    def test_property_valid_dfs_tree(self, node_count, seed):
+        graph = random_graph(node_count, 3, seed=seed)
+        tree, extra = star_and_adjacency(graph)
+        result = dfs_preferring_tree(tree, extra)
+        assert verify_dfs_tree_inmemory(graph, result).ok
+        preorder = [n for n in result.preorder() if n != graph.node_count]
+        assert sorted(preorder) == list(range(node_count))
+
+
+class TestTarjanSCC:
+    def test_simple_components(self):
+        adjacency = {0: [1], 1: [2], 2: [0, 3], 3: [4], 4: [3], 5: []}
+        components = tarjan_scc(range(6), adjacency)
+        assert sorted(sorted(c) for c in components) == [[0, 1, 2], [3, 4], [5]]
+
+    def test_reverse_topological_emission(self):
+        """Tarjan emits SCCs in reverse topological order of the condensation."""
+        adjacency = {0: [1], 1: [2], 2: []}
+        components = tarjan_scc([0, 1, 2], adjacency)
+        assert components == [[2], [1], [0]]
+
+    def test_self_loop_is_singleton(self):
+        components = tarjan_scc([0], {0: [0]})
+        assert components == [[0]]
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=99))
+    def test_matches_networkx(self, node_count, seed):
+        graph = random_graph(node_count, 2, seed=seed)
+        adjacency = {u: graph.out_neighbors(u) for u in range(node_count)}
+        mine = sorted(sorted(c) for c in tarjan_scc(range(node_count), adjacency))
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(range(node_count))
+        nx_graph.add_edges_from(graph.edges())
+        theirs = sorted(sorted(c) for c in nx.strongly_connected_components(nx_graph))
+        assert mine == theirs
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self):
+        order = topological_sort(range(4), {0: [1, 2], 1: [3], 2: [3]})
+        position = {node: i for i, node in enumerate(order)}
+        assert position[0] < position[1] < position[3]
+        assert position[0] < position[2] < position[3]
+
+    def test_deterministic_smallest_first(self):
+        order = topological_sort(range(4), {})
+        assert order == [0, 1, 2, 3]
+
+    def test_cycle_raises(self):
+        with pytest.raises(NotADAGError):
+            topological_sort([0, 1], {0: [1], 1: [0]})
+
+    def test_self_loop_raises(self):
+        with pytest.raises(NotADAGError):
+            topological_sort([0], {0: [0]})
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            topological_sort([0], {0: [7]})
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=99))
+    def test_property_valid_linearization(self, node_count, seed):
+        rng = random.Random(seed)
+        adjacency = {
+            u: sorted({rng.randrange(u + 1, node_count) for _ in range(2)})
+            for u in range(node_count - 1)
+        }
+        adjacency[node_count - 1] = []
+        order = topological_sort(range(node_count), adjacency)
+        position = {node: i for i, node in enumerate(order)}
+        for u, targets in adjacency.items():
+            for v in targets:
+                assert position[u] < position[v]

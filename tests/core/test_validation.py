@@ -1,0 +1,127 @@
+"""Tests for the spanning-tree and DFS-Tree validators."""
+
+from repro import DiskGraph
+from repro.core import (
+    EdgeType,
+    SpanningTree,
+    check_spanning_tree,
+    real_preorder,
+    verify_dfs_tree,
+    verify_dfs_tree_inmemory,
+)
+from repro.graph import Digraph
+
+
+def chain_tree(length: int) -> SpanningTree:
+    tree = SpanningTree()
+    tree.add_node(length, virtual=True)  # γ
+    tree.root = length
+    previous = length
+    for node in range(length):
+        tree.add_node(node)
+        tree.attach(node, previous)
+        previous = node
+    return tree
+
+
+class TestSpanningTreeCheck:
+    def test_valid_tree(self):
+        result = check_spanning_tree(chain_tree(5), range(5))
+        assert result.ok
+
+    def test_missing_nodes_detected(self):
+        tree = chain_tree(3)
+        result = check_spanning_tree(tree, range(5))
+        assert not result.ok
+        assert any("unreachable" in p for p in result.problems)
+
+    def test_detached_required_node_detected(self):
+        tree = chain_tree(5)
+        tree.detach(4)
+        result = check_spanning_tree(tree, range(5))
+        assert not result.ok
+
+    def test_rootless_tree_detected(self):
+        tree = SpanningTree()
+        tree.add_node(0)
+        result = check_spanning_tree(tree, [0])
+        assert not result.ok
+        assert "no root" in result.problems[0]
+
+    def test_foreign_real_node_detected(self):
+        tree = chain_tree(5)
+        result = check_spanning_tree(tree, range(4))  # node 4 not expected
+        assert not result.ok
+        assert any("outside the node set" in p for p in result.problems)
+
+    def test_virtual_nodes_are_allowed_anywhere(self):
+        tree = chain_tree(3)
+        tree.add_node(50, virtual=True)
+        tree.attach(50, 2)
+        assert check_spanning_tree(tree, range(3)).ok
+
+
+class TestDFSTreeVerifier:
+    def test_clean_tree_passes(self):
+        graph = Digraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        tree = chain_tree(3)
+        report = verify_dfs_tree_inmemory(graph, tree)
+        assert report.ok
+        assert report.counts[EdgeType.TREE] == 2
+        assert report.counts[EdgeType.BACKWARD] == 1
+
+    def test_forward_cross_detected_and_counted(self):
+        # tree: γ -> 0 -> {1, 2}; edge (1, 2) is forward-cross
+        tree = SpanningTree()
+        tree.add_node(3, virtual=True)
+        tree.root = 3
+        for node in range(3):
+            tree.add_node(node)
+        tree.attach(0, 3)
+        tree.attach(1, 0)
+        tree.attach(2, 0)
+        graph = Digraph.from_edges(3, [(0, 1), (0, 2), (1, 2), (1, 2)])
+        report = verify_dfs_tree_inmemory(graph, tree)
+        assert not report.ok
+        assert report.forward_cross_count == 2
+        assert report.first_offender == (1, 2)
+
+    def test_stop_early(self):
+        tree = SpanningTree()
+        tree.add_node(3, virtual=True)
+        tree.root = 3
+        for node in range(3):
+            tree.add_node(node)
+            tree.attach(node, 3)
+        graph = Digraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        report = verify_dfs_tree_inmemory(graph, tree, stop_early=True)
+        assert not report.ok
+        assert report.forward_cross_count == 1  # stopped at the first
+
+    def test_self_loops_counted_backward(self):
+        graph = Digraph.from_edges(2, [(0, 0), (0, 1)])
+        tree = chain_tree(2)
+        report = verify_dfs_tree_inmemory(graph, tree)
+        assert report.ok
+        assert report.counts[EdgeType.BACKWARD] == 1
+
+    def test_disk_variant_charges_io(self, device):
+        graph = Digraph.from_edges(3, [(0, 1), (1, 2)])
+        disk = DiskGraph.from_digraph(device, graph)
+        before = device.stats.snapshot()
+        report = verify_dfs_tree(disk, chain_tree(3))
+        assert report.ok
+        assert (device.stats.snapshot() - before).reads >= 1
+
+    def test_report_is_truthy_when_ok(self):
+        graph = Digraph.from_edges(2, [(0, 1)])
+        assert verify_dfs_tree_inmemory(graph, chain_tree(2))
+
+
+class TestRealPreorder:
+    def test_excludes_virtual_nodes(self):
+        tree = chain_tree(4)
+        assert real_preorder(tree) == [0, 1, 2, 3]
+
+    def test_empty_tree(self):
+        assert real_preorder(SpanningTree()) == []

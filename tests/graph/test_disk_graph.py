@@ -1,0 +1,64 @@
+"""Tests for the on-disk graph handle."""
+
+import math
+
+import pytest
+
+from repro import DiskGraph
+from repro.errors import InvalidGraphError
+from repro.graph import random_graph
+
+
+class TestConstruction:
+    def test_from_edges_roundtrip(self, device):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        graph = DiskGraph.from_edges(device, 3, edges)
+        assert list(graph.scan()) == edges
+        assert graph.node_count == 3
+        assert graph.edge_count == 3
+        assert graph.size == 6
+
+    def test_from_digraph(self, device):
+        source = random_graph(50, 3, seed=1)
+        graph = DiskGraph.from_digraph(device, source)
+        assert list(graph.scan()) == list(source.edges())
+
+    def test_validation_rejects_out_of_range(self, device):
+        with pytest.raises(InvalidGraphError):
+            DiskGraph.from_edges(device, 2, [(0, 1), (1, 2)])
+
+    def test_validation_can_be_disabled(self, device):
+        graph = DiskGraph.from_edges(device, 2, [(0, 5)], validate=False)
+        assert list(graph.scan()) == [(0, 5)]
+
+    def test_requires_sealed_file(self, device):
+        writable = device.create_edge_file()
+        with pytest.raises(InvalidGraphError):
+            DiskGraph(device, 1, writable)
+
+    def test_negative_node_count_rejected(self, device):
+        sealed = device.create_edge_file().seal()
+        with pytest.raises(InvalidGraphError):
+            DiskGraph(device, -1, sealed)
+
+
+class TestAccess:
+    def test_load_reconstructs_digraph(self, device):
+        source = random_graph(40, 4, seed=2)
+        graph = DiskGraph.from_digraph(device, source)
+        loaded = graph.load()
+        assert list(loaded.edges()) == list(source.edges())
+        assert loaded.node_count == 40
+
+    def test_scan_charges_io(self, device_factory):
+        device = device_factory(block_elements=8)
+        graph = DiskGraph.from_edges(device, 100, [(i, 0) for i in range(1, 50)])
+        before = device.stats.snapshot()
+        list(graph.scan())
+        assert (device.stats.snapshot() - before).reads == math.ceil(49 / 8)
+
+    def test_delete_removes_backing_file(self, device):
+        graph = DiskGraph.from_edges(device, 2, [(0, 1)])
+        graph.delete()
+        with pytest.raises(Exception):
+            list(graph.scan())

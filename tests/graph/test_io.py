@@ -1,0 +1,81 @@
+"""Tests for text edge-list I/O."""
+
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graph import (
+    digraph_from_edge_list,
+    load_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        edges = [(0, 1), (3, 2), (1, 1)]
+        assert write_edge_list(path, edges) == 3
+        assert list(read_edge_list(path)) == edges
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(path, [(0, 1)], header="generated\ntest graph")
+        with open(path) as handle:
+            lines = handle.readlines()
+        assert lines[0].startswith("# generated")
+        assert lines[1].startswith("# test graph")
+        assert list(read_edge_list(path)) == [(0, 1)]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        path_file = tmp_path / "graph.txt"
+        path_file.write_text("# comment\n\n0 1\n  \n2 3\n")
+        assert list(read_edge_list(path)) == [(0, 1), (2, 3)]
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        """SNAP files sometimes carry weights; only the first two count."""
+        path_file = tmp_path / "graph.txt"
+        path_file.write_text("0 1 0.5\n")
+        assert list(read_edge_list(str(path_file))) == [(0, 1)]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path_file = tmp_path / "graph.txt"
+        path_file.write_text("0 1\nbroken\n")
+        with pytest.raises(InvalidGraphError, match=":2"):
+            list(read_edge_list(str(path_file)))
+
+    def test_non_integer_raises(self, tmp_path):
+        path_file = tmp_path / "graph.txt"
+        path_file.write_text("a b\n")
+        with pytest.raises(InvalidGraphError):
+            list(read_edge_list(str(path_file)))
+
+
+class TestLoading:
+    def test_load_edge_list_onto_device(self, tmp_path, device):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(path, [(0, 2), (2, 1)])
+        graph = load_edge_list(path, device, node_count=3)
+        assert graph.node_count == 3
+        assert list(graph.scan()) == [(0, 2), (2, 1)]
+
+    def test_node_count_inferred(self, tmp_path, device):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(path, [(0, 7)])
+        graph = load_edge_list(path, device)
+        assert graph.node_count == 8
+
+    def test_digraph_from_edge_list(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(path, [(0, 1), (1, 2)])
+        graph = digraph_from_edge_list(path)
+        assert graph.node_count == 3
+        assert list(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_empty_file(self, tmp_path, device):
+        path_file = tmp_path / "graph.txt"
+        path_file.write_text("")
+        graph = load_edge_list(str(path_file), device)
+        assert graph.node_count == 0
+        assert list(graph.scan()) == []

@@ -1,0 +1,50 @@
+"""Tests for DFS-order graph relabelling."""
+
+import pytest
+
+from repro import BlockDevice, DiskGraph, semi_external_dfs
+from repro.errors import InvalidGraphError
+from repro.graph import power_law_graph, relabel_graph
+
+
+class TestRelabel:
+    def test_identity_permutation(self, device):
+        graph = DiskGraph.from_edges(device, 3, [(0, 1), (2, 0)])
+        relabelled = relabel_graph(graph, [0, 1, 2])
+        assert list(relabelled.scan()) == [(0, 1), (2, 0)]
+
+    def test_swap_permutation(self, device):
+        graph = DiskGraph.from_edges(device, 3, [(0, 1), (2, 0)])
+        relabelled = relabel_graph(graph, [2, 1, 0])  # node 2 -> 0, node 0 -> 2
+        assert list(relabelled.scan()) == [(2, 1), (0, 2)]
+
+    def test_preserves_structure_up_to_isomorphism(self, device):
+        graph_mem = power_law_graph(200, 4, seed=1)
+        graph = DiskGraph.from_digraph(device, graph_mem)
+        result = semi_external_dfs(graph, memory=3 * 200 + 200)
+        relabelled = relabel_graph(graph, result.order)
+        assert relabelled.edge_count == graph.edge_count
+        # map back and compare edge multisets
+        back = {position: node for position, node in enumerate(result.order)}
+        original = sorted(graph.scan())
+        mapped = sorted((back[u], back[v]) for u, v in relabelled.scan())
+        assert mapped == original
+
+    def test_relabelled_graph_still_dfs_able(self, device):
+        from repro.core import verify_dfs_tree
+
+        graph_mem = power_law_graph(150, 4, seed=2)
+        graph = DiskGraph.from_digraph(device, graph_mem)
+        memory = 3 * 150 + 200
+        result = semi_external_dfs(graph, memory)
+        relabelled = relabel_graph(graph, result.order)
+        again = semi_external_dfs(relabelled, memory)
+        assert again.order[0] == 0  # node 0 is the old DFS's first node
+        assert verify_dfs_tree(relabelled, again.tree).ok
+
+    def test_non_permutation_rejected(self, device):
+        graph = DiskGraph.from_edges(device, 3, [(0, 1)])
+        with pytest.raises(InvalidGraphError):
+            relabel_graph(graph, [0, 1, 1])
+        with pytest.raises(InvalidGraphError):
+            relabel_graph(graph, [0, 1])

@@ -1,0 +1,42 @@
+"""Tests for edge sampling (the Exp-1 percentage treatment)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import sample_edges
+
+
+class TestSampling:
+    def test_full_fraction_is_identity(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        assert list(sample_edges(edges, 1.0, seed=5)) == edges
+
+    def test_deterministic_per_seed(self):
+        edges = [(i, i + 1) for i in range(1000)]
+        first = list(sample_edges(edges, 0.4, seed=3))
+        second = list(sample_edges(edges, 0.4, seed=3))
+        assert first == second
+
+    def test_fraction_respected_statistically(self):
+        edges = [(i, 0) for i in range(20_000)]
+        kept = len(list(sample_edges(edges, 0.3, seed=1)))
+        assert abs(kept / 20_000 - 0.3) < 0.02
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            list(sample_edges([(0, 1)], 0.0))
+        with pytest.raises(ValueError):
+            list(sample_edges([(0, 1)], 1.5))
+
+    @settings(max_examples=20)
+    @given(
+        st.lists(st.tuples(st.integers(0, 99), st.integers(0, 99)), max_size=80),
+        st.floats(min_value=0.1, max_value=1.0),
+        st.integers(0, 50),
+    )
+    def test_sample_is_ordered_subsequence(self, edges, fraction, seed):
+        sampled = list(sample_edges(edges, fraction, seed=seed))
+        iterator = iter(edges)
+        for edge in sampled:  # every sampled edge appears, in order
+            assert edge in iterator

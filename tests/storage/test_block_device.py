@@ -1,0 +1,67 @@
+"""Unit tests for the simulated block device."""
+
+import os
+
+import pytest
+
+from repro.errors import ClosedFileError
+from repro.storage import BlockDevice
+
+
+class TestLifecycle:
+    def test_owns_and_removes_temp_directory(self):
+        device = BlockDevice()
+        directory = device.directory
+        assert os.path.isdir(directory)
+        device.close()
+        assert not os.path.exists(directory)
+        assert device.closed
+
+    def test_close_is_idempotent(self):
+        device = BlockDevice()
+        device.close()
+        device.close()
+
+    def test_context_manager(self):
+        with BlockDevice() as device:
+            directory = device.directory
+            assert os.path.isdir(directory)
+        assert not os.path.exists(directory)
+
+    def test_external_directory_is_kept(self, tmp_path):
+        target = str(tmp_path / "dev")
+        device = BlockDevice(directory=target)
+        path = device.allocate_path("keepme")
+        with open(path, "wb") as handle:
+            handle.write(b"x")
+        device.close()
+        assert os.path.isdir(target)
+        assert os.path.exists(path)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockDevice(block_elements=0)
+
+
+class TestAllocation:
+    def test_paths_are_unique(self, device):
+        first = device.allocate_path()
+        second = device.allocate_path()
+        assert first != second
+        assert first.startswith(device.directory)
+
+    def test_named_path(self, device):
+        path = device.allocate_path("edges-main", suffix=".dat")
+        assert os.path.basename(path) == "edges-main.dat"
+
+    def test_closed_device_rejects_operations(self):
+        device = BlockDevice()
+        device.close()
+        with pytest.raises(ClosedFileError):
+            device.allocate_path()
+        with pytest.raises(ClosedFileError):
+            device.create_edge_file()
+
+    def test_repr(self, device):
+        assert "open" in repr(device)
+        assert str(device.block_elements) in repr(device)

@@ -1,0 +1,123 @@
+"""Unit + property tests for the external-memory stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClosedFileError
+from repro.storage import BlockDevice, ExternalStack
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestBasics:
+    def test_lifo_order(self, device):
+        with ExternalStack(device, page_elements=4, hot_pages=1) as stack:
+            for value in range(20):
+                stack.push(value)
+            popped = [stack.pop() for _ in range(20)]
+            assert popped == list(range(19, -1, -1))
+
+    def test_len_tracks_contents(self, device):
+        with ExternalStack(device, page_elements=3) as stack:
+            assert len(stack) == 0
+            stack.push(1)
+            stack.push(2)
+            assert len(stack) == 2
+            stack.pop()
+            assert len(stack) == 1
+
+    def test_pop_empty_raises(self, device):
+        with ExternalStack(device) as stack:
+            with pytest.raises(IndexError):
+                stack.pop()
+
+    def test_peek_does_not_consume(self, device):
+        with ExternalStack(device, page_elements=2, hot_pages=1) as stack:
+            stack.push(7)
+            stack.push(8)
+            assert stack.peek() == 8
+            assert len(stack) == 2
+            assert stack.pop() == 8
+
+    def test_interleaved_push_pop(self, device):
+        with ExternalStack(device, page_elements=2, hot_pages=1) as stack:
+            stack.push(1)
+            stack.push(2)
+            assert stack.pop() == 2
+            stack.push(3)
+            stack.push(4)
+            stack.push(5)
+            assert [stack.pop() for _ in range(4)] == [5, 4, 3, 1]
+
+    def test_closed_stack_rejects_operations(self, device):
+        stack = ExternalStack(device)
+        stack.close()
+        stack.close()  # idempotent
+        with pytest.raises(ClosedFileError):
+            stack.push(1)
+
+    def test_invalid_parameters(self, device):
+        with pytest.raises(ValueError):
+            ExternalStack(device, hot_pages=0)
+        with pytest.raises(ValueError):
+            ExternalStack(device, page_elements=0)
+
+
+class TestSpilling:
+    def test_spills_beyond_hot_pages(self, device):
+        with ExternalStack(device, page_elements=4, hot_pages=2) as stack:
+            for value in range(4 * 4 + 1):  # needs 5 pages
+                stack.push(value)
+            assert stack.spilled_pages >= 1
+
+    def test_spill_and_reload_charge_io(self, device):
+        before = device.stats.snapshot()
+        with ExternalStack(device, page_elements=4, hot_pages=1) as stack:
+            for value in range(16):
+                stack.push(value)
+            spill_writes = (device.stats.snapshot() - before).writes
+            assert spill_writes >= 2
+            for _ in range(16):
+                stack.pop()
+            delta = device.stats.snapshot() - before
+            assert delta.reads == spill_writes  # every spilled page reloads once
+
+    def test_amortized_io_bound(self, device_factory):
+        """N pushes + N pops cost O(N / B) I/Os."""
+        device = device_factory(block_elements=64)
+        count = 64 * 20
+        before = device.stats.snapshot()
+        with ExternalStack(device, hot_pages=1) as stack:
+            for value in range(count):
+                stack.push(value)
+            for _ in range(count):
+                stack.pop()
+        delta = device.stats.snapshot() - before
+        assert delta.total <= 2 * (count // 64) + 4
+
+
+class TestStackProperty:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.one_of(int32s.map(lambda v: ("push", v)), st.just(("pop", 0))),
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_list_model(self, operations, page_elements, hot_pages):
+        model = []
+        with BlockDevice(block_elements=16) as device:
+            with ExternalStack(device, page_elements, hot_pages) as stack:
+                for op, value in operations:
+                    if op == "push":
+                        stack.push(value)
+                        model.append(value)
+                    elif model:
+                        assert stack.pop() == model.pop()
+                    else:
+                        with pytest.raises(IndexError):
+                            stack.pop()
+                    assert len(stack) == len(model)

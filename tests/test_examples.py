@@ -1,0 +1,40 @@
+"""Smoke tests: the two fast example scripts must run end to end.
+
+The slower examples (web crawl, social reachability, resilience) are
+exercised by CI's example job; here we only keep the quick ones so the
+unit suite stays fast.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "divide-td" in out
+    assert "True" in out  # validity column
+    assert "DFS order starting at node 0" in out
+
+
+@pytest.mark.slow
+def test_toposort_pipeline_runs():
+    out = run_example("toposort_pipeline.py")
+    assert "dependency violations: 0" in out
+    assert "cycle correctly rejected" in out
