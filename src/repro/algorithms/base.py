@@ -34,6 +34,9 @@ class DFSResult:
         passes: restructure passes (full or partial edge-file scans).
         divisions: successful divisions performed (divide & conquer only).
         max_depth: deepest recursion level reached (divide & conquer only).
+        kernel: name of the columnar kernel backend the run executed on
+            (``python`` or ``numpy``); benchmarks record it so a result
+            is attributable to a code path.
         details: free-form per-algorithm counters.
         trace: per-recursion-level event records (populated when the
             algorithm is invoked with ``trace=True``).
@@ -47,6 +50,7 @@ class DFSResult:
     passes: int = 0
     divisions: int = 0
     max_depth: int = 0
+    kernel: str = "python"
     details: Dict[str, int] = field(default_factory=dict)
     trace: List[Dict[str, object]] = field(default_factory=list)
 
@@ -132,6 +136,7 @@ class RunContext:
             passes=self.passes,
             divisions=self.divisions,
             max_depth=self.max_depth,
+            kernel=self.graph.device.kernel.name,
             details=dict(self.details),
             trace=list(self.trace),
         )

@@ -68,6 +68,14 @@ def restructure(
             f"budget {budget.capacity}, used {budget.used}"
         )
 
+    kernel = edge_file.device.kernel
+    if kernel.vectorized:
+        dense = kernel.make_index(tree)
+        if dense is not None:  # None = ids too sparse; scalar path below
+            return _restructure_vectorized(
+                edge_file, tree, batch_capacity, stack_device, kernel, dense
+            )
+
     update = False
     batches = 0
     rebuilds = 0
@@ -128,5 +136,70 @@ def restructure(
                 pre = index.pre
                 size = index.size
                 parent = tree.parent
+    flush_batch()
+    return RestructureOutcome(tree=tree, update=update, batches=batches, rebuilds=rebuilds)
+
+
+def _restructure_vectorized(
+    edge_file: EdgeFile,
+    tree: SpanningTree,
+    batch_capacity: int,
+    stack_device: Optional[BlockDevice],
+    kernel,
+    index,
+) -> RestructureOutcome:
+    """The same pass, block-at-a-time through the vectorized kernel.
+
+    Blocks arrive as flat int32 columns (:meth:`EdgeFile.scan_columns`) and
+    ``kernel.classify_slice`` computes forward-/backward-cross masks with
+    array comparisons against a dense interval index; only the (rare) cross
+    edges come back as Python pairs for the batch adjacency.  Batch
+    boundaries, I/O charges, and every :class:`RestructureOutcome` counter
+    are identical to the scalar loop — ``classify_slice`` stops at the
+    exact edge that fills the batch, the batch is flushed, and the rest of
+    the block is re-classified against the rebuilt tree.
+    """
+    update = False
+    batches = 0
+    rebuilds = 0
+    extra: Dict[int, List[int]] = {}
+    loaded = 0
+    batch_has_forward_cross = False
+
+    def flush_batch() -> None:
+        nonlocal tree, index, extra, loaded, batch_has_forward_cross
+        nonlocal batches, rebuilds, update
+        if loaded == 0:
+            return
+        batches += 1
+        if batch_has_forward_cross:
+            update = True
+            rebuilds += 1
+            tree = dfs_preferring_tree(tree, extra, stack_device=stack_device)
+            # The rebuild preserves the node set, so density (and hence the
+            # dense index's availability) cannot change mid-pass.
+            index = kernel.make_index(tree)
+        extra = {}
+        loaded = 0
+        batch_has_forward_cross = False
+
+    for u_col, v_col in edge_file.scan_columns():
+        length = len(u_col)
+        position = 0
+        while position < length:
+            position, counted, has_forward_cross, cross = kernel.classify_slice(
+                index, u_col, v_col, position, batch_capacity - loaded
+            )
+            for u, v in cross:
+                targets = extra.get(u)
+                if targets is None:
+                    extra[u] = [v]
+                else:
+                    targets.append(v)
+            loaded += counted
+            if has_forward_cross:
+                batch_has_forward_cross = True
+            if loaded >= batch_capacity:
+                flush_batch()
     flush_batch()
     return RestructureOutcome(tree=tree, update=update, batches=batches, rebuilds=rebuilds)

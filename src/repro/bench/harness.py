@@ -39,6 +39,7 @@ class CellResult:
     node_count: int
     edge_count: int
     dnf: bool = False
+    kernel: str = "python"
 
     @property
     def label(self) -> str:
@@ -78,12 +79,14 @@ def run_cell(
                 x=x, algorithm=algorithm, time_seconds=elapsed, ios=ios,
                 passes=0, divisions=0,
                 node_count=node_count, edge_count=graph.edge_count, dnf=True,
+                kernel=device.kernel.name,
             )
         return CellResult(
             x=x, algorithm=algorithm,
             time_seconds=result.elapsed_seconds, ios=result.io.total,
             passes=result.passes, divisions=result.divisions,
             node_count=node_count, edge_count=graph.edge_count,
+            kernel=result.kernel,
         )
 
 

@@ -96,11 +96,11 @@ def render_experiment(
 
 def render_csv(results: Sequence[CellResult]) -> str:
     """Machine-readable dump of a series."""
-    lines = ["x,algorithm,time_seconds,ios,passes,divisions,nodes,edges,dnf"]
+    lines = ["x,algorithm,time_seconds,ios,passes,divisions,nodes,edges,dnf,kernel"]
     for cell in results:
         lines.append(
             f"{cell.x},{cell.algorithm},{cell.time_seconds:.4f},{cell.ios},"
             f"{cell.passes},{cell.divisions},{cell.node_count},"
-            f"{cell.edge_count},{int(cell.dnf)}"
+            f"{cell.edge_count},{int(cell.dnf)},{cell.kernel}"
         )
     return "\n".join(lines)

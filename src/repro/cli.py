@@ -52,6 +52,10 @@ def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--block-size", type=int, default=4096, help="elements per block (B)"
     )
+    parser.add_argument(
+        "--kernel", choices=["auto", "python", "numpy"], default=None,
+        help="columnar kernel backend (default: $REPRO_KERNEL, then auto)",
+    )
 
 
 def _resolve_memory(args: argparse.Namespace, node_count: int, edge_count: int) -> int:
@@ -89,7 +93,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_dfs(args: argparse.Namespace) -> int:
-    with BlockDevice(block_elements=args.block_size) as device:
+    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         print(
@@ -103,7 +107,7 @@ def _command_dfs(args: argparse.Namespace) -> int:
             f"{result.algorithm}: time={result.elapsed_seconds:.2f}s "
             f"io={result.io.total} (r={result.io.reads} w={result.io.writes}) "
             f"passes={result.passes} divisions={result.divisions} "
-            f"depth={result.max_depth}"
+            f"depth={result.max_depth} kernel={result.kernel}"
         )
         if args.verify:
             report = verify_dfs_tree(graph, result.tree)
@@ -132,7 +136,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     algorithms = ["edge-by-batch", "divide-star", "divide-td"]
     if args.include_edge_by_edge:
         algorithms.insert(0, "edge-by-edge")
-    with BlockDevice(block_elements=args.block_size) as device:
+    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         print(
@@ -159,7 +163,7 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_toposort(args: argparse.Namespace) -> int:
-    with BlockDevice(block_elements=args.block_size) as device:
+    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         order = topological_order(graph, memory, algorithm=args.algorithm)
@@ -174,7 +178,7 @@ def _command_toposort(args: argparse.Namespace) -> int:
 
 
 def _command_scc(args: argparse.Namespace) -> int:
-    with BlockDevice(block_elements=args.block_size) as device:
+    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         components = strongly_connected_components(graph, memory)
@@ -204,7 +208,7 @@ _EXPERIMENTS = {
 def _command_planarity(args: argparse.Namespace) -> int:
     from .apps import check_planarity
 
-    with BlockDevice(block_elements=args.block_size) as device:
+    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         report = check_planarity(graph)
         verdict = "planar" if report.planar else "NOT planar"

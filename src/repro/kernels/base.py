@@ -1,0 +1,107 @@
+"""Backend registry and selection for the columnar kernel layer.
+
+A *kernel* bundles the three per-edge hot operations every restructure
+pass performs millions of times — unpacking a disk block into columns,
+packing columns back to bytes, and classifying a block of edges against
+the in-memory spanning tree.  Two backends exist:
+
+* ``python`` — always available; stdlib-``array`` columns, scalar
+  classification (the seed implementation's semantics, verbatim);
+* ``numpy`` — optional; flat int32 columns via ``frombuffer``/``tobytes``
+  and whole-block mask arithmetic for classification.
+
+Selection is ``auto`` by default (numpy when importable), overridable per
+:class:`~repro.storage.block_device.BlockDevice` or globally with the
+``REPRO_KERNEL`` environment variable (``auto`` / ``python`` / ``numpy``).
+Both backends are bit-for-bit equivalent: identical bytes on disk,
+identical classification decisions, identical I/O accounting.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Environment variable consulted when no explicit backend is requested.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Recognized backend names (``auto`` resolves to one of the other two).
+KERNEL_NAMES = ("auto", "python", "numpy")
+
+#: One classified slice of a block: ``(stop, counted, has_forward_cross,
+#: cross_edges)`` where ``stop`` is the exclusive end index reached before
+#: the batch capacity was exhausted, ``counted`` is how many non-tree,
+#: non-self-loop edges the slice loaded, and ``cross_edges`` are the
+#: forward-/backward-cross pairs (python ints, in scan order).
+ClassifiedSlice = Tuple[int, int, bool, List[Tuple[int, int]]]
+
+_kernels: Dict[str, object] = {}
+
+
+def _python_kernel():
+    if "python" not in _kernels:
+        from .python_kernel import PythonKernel
+
+        _kernels["python"] = PythonKernel()
+    return _kernels["python"]
+
+
+def _numpy_kernel():
+    if "numpy" not in _kernels:
+        from .numpy_kernel import NumpyKernel  # raises ImportError w/o numpy
+
+        _kernels["numpy"] = NumpyKernel()
+    return _kernels["numpy"]
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be constructed in this environment."""
+    try:
+        _numpy_kernel()
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends that resolve successfully, python first."""
+    names = ["python"]
+    if numpy_available():
+        names.append("numpy")
+    return tuple(names)
+
+
+def resolve_kernel(name: Optional[str] = None):
+    """Resolve a backend name (or ``None``) to a kernel instance.
+
+    ``None`` falls back to ``$REPRO_KERNEL``, then ``auto``.  ``auto``
+    prefers numpy when importable and silently degrades to python
+    otherwise; asking for ``numpy`` explicitly when it is missing raises.
+
+    Raises:
+        ReproError: unknown name, or an explicit backend is unavailable.
+    """
+    if name is None:
+        name = os.environ.get(KERNEL_ENV_VAR) or "auto"
+    name = name.strip().lower()
+    if name not in KERNEL_NAMES:
+        known = ", ".join(KERNEL_NAMES)
+        raise ReproError(f"unknown kernel backend {name!r}; known: {known}")
+    if name == "python":
+        return _python_kernel()
+    if name == "numpy":
+        try:
+            return _numpy_kernel()
+        except ImportError:
+            raise ReproError(
+                "kernel backend 'numpy' requested (argument or REPRO_KERNEL) "
+                "but numpy is not importable; install the 'numpy' extra or "
+                "use REPRO_KERNEL=python"
+            ) from None
+    # auto
+    try:
+        return _numpy_kernel()
+    except ImportError:
+        return _python_kernel()

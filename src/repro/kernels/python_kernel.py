@@ -1,0 +1,133 @@
+"""The always-available pure-Python kernel backend.
+
+Columns are stdlib :mod:`array` arrays of 4-byte signed ints, so
+``unpack_edge_columns`` / ``pack_edge_columns`` move whole blocks with
+``frombytes`` / ``tobytes`` plus two extended-slice copies instead of one
+``struct`` call per edge.  Classification mirrors the scalar loop in
+:mod:`repro.algorithms.restructure` exactly, which makes this backend the
+semantics oracle the numpy backend is tested against.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import List, Optional, Tuple
+
+from ..core.classify import IntervalIndex
+from ..core.tree import SpanningTree
+from .base import ClassifiedSlice
+
+EDGE_BYTES = 8  # two little-endian signed 32-bit ints
+
+#: The first array typecode with a 4-byte item (``'i'`` everywhere CPython
+#: runs today; the probe keeps the codec honest on exotic ABIs).
+_TYPECODE = next(tc for tc in ("i", "l", "h") if array(tc).itemsize == 4)
+
+#: Native byte order vs. the on-disk little-endian format.
+_NEEDS_SWAP = sys.byteorder == "big"
+
+
+class _DictIndexClassifier:
+    """Scalar classifier over the dict-based :class:`IntervalIndex`."""
+
+    __slots__ = ("pre", "size", "parent")
+
+    def __init__(self, tree: SpanningTree) -> None:
+        index = IntervalIndex(tree)
+        self.pre = index.pre
+        self.size = index.size
+        self.parent = tree.parent
+
+
+class PythonKernel:
+    """Columnar codecs + scalar classification; no third-party deps."""
+
+    name = "python"
+    vectorized = False
+
+    # -- codecs --------------------------------------------------------
+    def unpack_edge_columns(self, data: bytes) -> Tuple[array, array]:
+        """Split packed edge bytes into ``(u, v)`` int32 columns."""
+        if len(data) % EDGE_BYTES:
+            raise ValueError(
+                f"byte length {len(data)} is not a multiple of the edge "
+                f"size {EDGE_BYTES}"
+            )
+        flat = array(_TYPECODE)
+        flat.frombytes(data)
+        if _NEEDS_SWAP:
+            flat.byteswap()
+        return flat[0::2], flat[1::2]
+
+    def pack_edge_columns(self, u_col, v_col) -> bytes:
+        """Interleave two int32 columns back into on-disk edge bytes.
+
+        Raises:
+            ValueError: mismatched lengths or out-of-int32-range values.
+        """
+        if len(u_col) != len(v_col):
+            raise ValueError(
+                f"column length mismatch: {len(u_col)} vs {len(v_col)}"
+            )
+        try:
+            us = u_col if _is_i32_array(u_col) else array(_TYPECODE, u_col)
+            vs = v_col if _is_i32_array(v_col) else array(_TYPECODE, v_col)
+        except OverflowError:
+            raise ValueError("edge endpoint out of int32 range") from None
+        flat = array(_TYPECODE, bytes(len(us) * EDGE_BYTES))
+        flat[0::2] = us
+        flat[1::2] = vs
+        if _NEEDS_SWAP:
+            flat.byteswap()
+        return flat.tobytes()
+
+    # -- classification ------------------------------------------------
+    def make_index(self, tree: SpanningTree) -> Optional[_DictIndexClassifier]:
+        """Build a classifier for :meth:`classify_slice` (never dense)."""
+        return _DictIndexClassifier(tree)
+
+    def classify_slice(
+        self,
+        index: _DictIndexClassifier,
+        u_col,
+        v_col,
+        start: int,
+        capacity: int,
+    ) -> ClassifiedSlice:
+        """Classify ``(u_col, v_col)[start:]`` until ``capacity`` edges load.
+
+        Returns ``(stop, counted, has_forward_cross, cross_edges)`` with
+        the exact semantics of the restructure scalar loop: self-loops and
+        tree edges are free; every other edge charges the batch; only
+        cross edges are reported back.
+        """
+        pre = index.pre
+        size = index.size
+        parent = index.parent
+        counted = 0
+        has_forward_cross = False
+        cross: List[Tuple[int, int]] = []
+        stop = len(u_col)
+        for position in range(start, len(u_col)):
+            u = u_col[position]
+            v = v_col[position]
+            if u == v or parent.get(v) == u:
+                continue
+            pre_u = pre[u]
+            pre_v = pre[v]
+            counted += 1
+            if pre_u < pre_v:
+                if pre_v >= pre_u + size[u]:
+                    cross.append((u, v))  # forward-cross
+                    has_forward_cross = True
+            elif pre_u >= pre_v + size[v]:
+                cross.append((u, v))  # backward-cross
+            if counted >= capacity:
+                stop = position + 1
+                break
+        return stop, counted, has_forward_cross, cross
+
+
+def _is_i32_array(column) -> bool:
+    return isinstance(column, array) and column.typecode == _TYPECODE

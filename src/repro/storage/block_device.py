@@ -33,6 +33,10 @@ class BlockDevice:
         block_elements: elements per block (``B`` in the EM model).
         directory: directory to place files in; a private temporary
             directory is created (and removed on :meth:`close`) when omitted.
+        kernel: columnar kernel backend for structures on this device —
+            ``"python"``, ``"numpy"``, ``"auto"``, or ``None`` to defer to
+            ``$REPRO_KERNEL`` (then ``auto``).  The backend changes CPU
+            cost only; bytes on disk and I/O charges are identical.
 
     The device is a context manager::
 
@@ -45,10 +49,14 @@ class BlockDevice:
         self,
         block_elements: int = DEFAULT_BLOCK_ELEMENTS,
         directory: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if block_elements <= 0:
             raise ValueError("block_elements must be positive")
+        from ..kernels import resolve_kernel  # local import to avoid a cycle
+
         self.block_elements = block_elements
+        self.kernel = resolve_kernel(kernel)
         self.stats = IOStats()
         self._owns_directory = directory is None
         if directory is None:

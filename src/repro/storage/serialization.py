@@ -10,6 +10,7 @@ rather than at a confusing distance later.
 from __future__ import annotations
 
 import struct
+from itertools import chain
 from typing import Iterable, List, Sequence, Tuple
 
 Edge = Tuple[int, int]
@@ -27,16 +28,27 @@ _INT32_MAX = 2**31 - 1
 def pack_edges(edges: Sequence[Edge]) -> bytes:
     """Serialize a sequence of ``(u, v)`` pairs to bytes.
 
+    The whole block is packed with one ``struct.pack`` call and
+    range-checked with ``min()``/``max()`` — per-edge ``bytes`` objects
+    were the dominant allocation in write-heavy phases.
+
     Raises:
         ValueError: if any endpoint falls outside the signed 32-bit range.
     """
-    parts: List[bytes] = []
-    pack = _EDGE.pack
-    for u, v in edges:
-        if not (_INT32_MIN <= u <= _INT32_MAX and _INT32_MIN <= v <= _INT32_MAX):
-            raise ValueError(f"edge endpoint out of int32 range: ({u}, {v})")
-        parts.append(pack(u, v))
-    return b"".join(parts)
+    flat = list(chain.from_iterable(edges))
+    if not flat:
+        return b""
+    if min(flat) < _INT32_MIN or max(flat) > _INT32_MAX:
+        offender = next(
+            edge
+            for edge in edges
+            if not (
+                _INT32_MIN <= edge[0] <= _INT32_MAX
+                and _INT32_MIN <= edge[1] <= _INT32_MAX
+            )
+        )
+        raise ValueError(f"edge endpoint out of int32 range: {offender}")
+    return struct.pack(f"<{len(flat)}i", *flat)
 
 
 def unpack_edges(data: bytes) -> List[Edge]:
@@ -54,13 +66,16 @@ def unpack_edges(data: bytes) -> List[Edge]:
 
 def pack_ints(values: Sequence[int]) -> bytes:
     """Serialize a sequence of 32-bit signed ints (external stack pages)."""
-    parts: List[bytes] = []
-    pack = _INT.pack
-    for value in values:
-        if not _INT32_MIN <= value <= _INT32_MAX:
-            raise ValueError(f"value out of int32 range: {value}")
-        parts.append(pack(value))
-    return b"".join(parts)
+    if not values:
+        return b""
+    if min(values) < _INT32_MIN or max(values) > _INT32_MAX:
+        offender = next(
+            value
+            for value in values
+            if not _INT32_MIN <= value <= _INT32_MAX
+        )
+        raise ValueError(f"value out of int32 range: {offender}")
+    return struct.pack(f"<{len(values)}i", *values)
 
 
 def unpack_ints(data: bytes) -> List[int]:

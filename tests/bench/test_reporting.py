@@ -59,8 +59,9 @@ class TestRenderCSV:
         csv = render_csv(rows)
         lines = csv.splitlines()
         assert lines[0].startswith("x,algorithm,time_seconds,ios")
-        assert "20%,divide-td,1.2345,42,3,1,100,500,0" in lines[1]
+        assert lines[0].endswith(",dnf,kernel")
+        assert "20%,divide-td,1.2345,42,3,1,100,500,0,python" in lines[1]
 
     def test_dnf_flag(self):
         csv = render_csv([cell("20%", "a", dnf=True)])
-        assert csv.splitlines()[1].endswith(",1")
+        assert csv.splitlines()[1].endswith(",1,python")

@@ -1,0 +1,112 @@
+"""Backend equivalence at the restructure / whole-run level.
+
+The paper's I/O accounting must be bit-for-bit independent of the kernel
+backend: one charged read per scanned block, identical batch boundaries,
+identical rebuild decisions.  These tests run the same workload on one
+device per backend and assert the counters — not just the results — match.
+"""
+
+import pytest
+
+from repro import BlockDevice, DiskGraph, MemoryBudget, semi_external_dfs
+from repro.algorithms import initial_star_tree, restructure
+from repro.core.tree import VirtualNodeAllocator
+from repro.graph import random_graph
+from repro.kernels import numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend unavailable"
+)
+
+
+def run_restructure_trace(kernel, graph, node_count, memory, block_elements=16):
+    """All RestructureOutcome counters + I/O deltas, pass by pass, to a fixpoint."""
+    with BlockDevice(block_elements=block_elements, kernel=kernel) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        allocator = VirtualNodeAllocator(node_count)
+        tree = initial_star_tree(disk, allocator)
+        budget = MemoryBudget(memory)
+        budget.charge("tree", budget.tree_charge(node_count))
+        trace = []
+        for _ in range(2 * node_count + 16):
+            before = device.stats.snapshot()
+            outcome = restructure(disk.edge_file, tree, budget)
+            io = device.stats.snapshot() - before
+            trace.append(
+                (outcome.update, outcome.batches, outcome.rebuilds,
+                 io.reads, io.writes)
+            )
+            tree = outcome.tree
+            if not outcome.update:
+                break
+        preorder = list(tree.preorder())
+        return trace, preorder
+
+
+class TestRestructureEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_outcome_counters_identical(self, seed):
+        node_count = 70
+        graph = random_graph(node_count, 4, seed=seed)
+        # tight budget => multiple batches per pass, so batch-boundary
+        # placement (the subtle part of the vectorized path) is exercised
+        memory = 3 * node_count + 60
+        py = run_restructure_trace("python", graph, node_count, memory)
+        np_ = run_restructure_trace("numpy", graph, node_count, memory)
+        assert np_ == py
+
+    def test_single_batch_runs_identical(self):
+        node_count = 50
+        graph = random_graph(node_count, 5, seed=9)
+        memory = 3 * node_count + 100_000
+        py = run_restructure_trace("python", graph, node_count, memory)
+        np_ = run_restructure_trace("numpy", graph, node_count, memory)
+        assert np_ == py
+        assert py[0][0][1] == 1  # whole file fit one batch
+
+
+class TestFullRunEquivalence:
+    @pytest.mark.parametrize(
+        "algorithm", ["edge-by-batch", "divide-star", "divide-td"]
+    )
+    @pytest.mark.parametrize("seed", [3, 13])
+    def test_io_counters_and_order_identical(self, algorithm, seed):
+        node_count = 300
+        graph = random_graph(node_count, 5, seed=seed)
+        memory = 3 * node_count + 700
+        summaries = {}
+        for kernel in ("python", "numpy"):
+            with BlockDevice(block_elements=64, kernel=kernel) as device:
+                disk = DiskGraph.from_digraph(device, graph)
+                result = semi_external_dfs(
+                    disk, memory, algorithm=algorithm
+                )
+                assert result.kernel == kernel
+                summaries[kernel] = (
+                    result.order,
+                    result.io.reads,
+                    result.io.writes,
+                    result.passes,
+                    result.divisions,
+                    result.details.get("batches"),
+                )
+        assert summaries["numpy"] == summaries["python"]
+
+    def test_edge_by_batch_external_stack_identical(self):
+        """Stack-spill I/O rides on the rebuild decisions; must match too."""
+        node_count = 400
+        graph = random_graph(node_count, 4, seed=21)
+        memory = 3 * node_count + 500
+        summaries = {}
+        for kernel in ("python", "numpy"):
+            with BlockDevice(block_elements=32, kernel=kernel) as device:
+                disk = DiskGraph.from_digraph(device, graph)
+                result = semi_external_dfs(
+                    disk, memory, algorithm="edge-by-batch",
+                    use_external_stack=True,
+                )
+                summaries[kernel] = (
+                    result.order, result.io.reads, result.io.writes,
+                    result.passes, result.details.get("rebuilds"),
+                )
+        assert summaries["numpy"] == summaries["python"]

@@ -137,3 +137,94 @@ class TestPartitionWriter:
             for key in keys:
                 expected = [(u, v) for k, u, v in routed if k == key]
                 assert parts[key].read_all() == expected
+
+
+class TestColumnarPaths:
+    """scan_columns / extend / extend_columns — the kernel-layer fast paths."""
+
+    def test_scan_columns_matches_scan_blocks(self, device_factory):
+        device = device_factory(block_elements=4)
+        edges = [(i, i * 3 % 11) for i in range(9)]
+        edge_file = edge_file_from_edges(device, edges)
+        blocks = list(edge_file.scan_blocks())
+        columns = list(edge_file.scan_columns())
+        assert len(columns) == len(blocks)
+        for block, (us, vs) in zip(blocks, columns):
+            assert list(zip(us, vs)) == block
+
+    def test_scan_columns_charges_one_read_per_block(self, device_factory):
+        device = device_factory(block_elements=4)
+        edge_file = edge_file_from_edges(device, [(i, i) for i in range(9)])
+        before = device.stats.snapshot()
+        list(edge_file.scan_columns())
+        delta = device.stats.snapshot() - before
+        assert delta.reads == 3
+        assert delta.writes == 0
+
+    def test_scan_columns_requires_seal(self, device):
+        edge_file = device.create_edge_file()
+        edge_file.append(1, 2)
+        with pytest.raises(StorageError):
+            list(edge_file.scan_columns())
+
+    def test_extend_accepts_generators(self, device_factory):
+        device = device_factory(block_elements=8)
+        edge_file = device.create_edge_file()
+        edge_file.extend((i, i + 1) for i in range(21))
+        edge_file.seal()
+        assert edge_file.read_all() == [(i, i + 1) for i in range(21)]
+        assert edge_file.block_count == 3
+
+    def test_extend_chunks_interleave_with_append(self, device_factory):
+        device = device_factory(block_elements=5)
+        edge_file = device.create_edge_file()
+        edge_file.append(100, 200)
+        edge_file.extend([(i, i) for i in range(7)])
+        edge_file.append(300, 400)
+        edge_file.extend([(i, -i) for i in range(4)])
+        edge_file.seal()
+        expected = (
+            [(100, 200)]
+            + [(i, i) for i in range(7)]
+            + [(300, 400)]
+            + [(i, -i) for i in range(4)]
+        )
+        assert edge_file.read_all() == expected
+        assert device.stats.writes == edge_file.block_count
+
+    def test_extend_columns_roundtrip(self, device_factory):
+        device = device_factory(block_elements=4)
+        edge_file = device.create_edge_file()
+        edge_file.append(9, 9)  # ragged head: partial buffer before columns
+        us = list(range(11))
+        vs = [i * 2 for i in range(11)]
+        edge_file.extend_columns(us, vs)
+        edge_file.seal()
+        assert edge_file.read_all() == [(9, 9)] + list(zip(us, vs))
+        assert device.stats.writes == edge_file.block_count == 3
+
+    def test_extend_columns_mismatched_lengths(self, device):
+        edge_file = device.create_edge_file()
+        with pytest.raises(ValueError):
+            edge_file.extend_columns([1, 2], [3])
+
+    def test_extend_columns_block_aligned(self, device_factory):
+        device = device_factory(block_elements=4)
+        edge_file = device.create_edge_file()
+        edge_file.extend_columns(list(range(8)), list(range(8)))
+        assert edge_file.block_count == 2  # written straight through
+        edge_file.seal()
+        assert edge_file.read_all() == [(i, i) for i in range(8)]
+
+    @settings(max_examples=25)
+    @given(edge_lists)
+    def test_extend_columns_equals_extend(self, edges):
+        with BlockDevice(block_elements=7) as device:
+            by_rows = edge_file_from_edges(device, edges)
+            by_columns = device.create_edge_file()
+            by_columns.extend_columns(
+                [u for u, _ in edges], [v for _, v in edges]
+            )
+            by_columns.seal()
+            assert by_columns.read_all() == edges
+            assert by_columns.block_count == by_rows.block_count
