@@ -24,32 +24,40 @@ from .api import ALGORITHMS, semi_external_dfs
 from .algorithms.base import DFSResult
 from .errors import (
     ConvergenceError,
+    CorruptBlockError,
     InvalidDivisionError,
     InvalidGraphError,
     MemoryBudgetExceeded,
     NotADAGError,
     ReproError,
+    RetriesExhausted,
     StorageError,
+    TransientIOError,
 )
 from .graph.digraph import Digraph
 from .graph.disk_graph import DiskGraph
 from .storage.block_device import BlockDevice
 from .storage.buffer_pool import MemoryBudget
+from .storage.faults import FaultPlan
 
 __all__ = [
     "ALGORITHMS",
     "BlockDevice",
     "ConvergenceError",
+    "CorruptBlockError",
     "DFSResult",
     "Digraph",
     "DiskGraph",
+    "FaultPlan",
     "InvalidDivisionError",
     "InvalidGraphError",
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "NotADAGError",
     "ReproError",
+    "RetriesExhausted",
     "StorageError",
+    "TransientIOError",
     "__version__",
     "semi_external_dfs",
 ]

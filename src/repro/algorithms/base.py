@@ -29,7 +29,11 @@ class DFSResult:
             non-virtual preorder is the DFS total order).
         order: DFS total order over the real nodes.
         algorithm: name of the algorithm that produced the result.
-        io: simulated block I/Os consumed by the run.
+        io: simulated block I/Os consumed by the run.  ``io.reads`` /
+            ``io.writes`` are *logical* charges — identical with and
+            without injected faults; ``io.retries``, ``io.faults`` and
+            ``io.checksum_failures`` report what the resilience layer
+            absorbed (see :attr:`retries` / :attr:`faults`).
         elapsed_seconds: wall-clock time of the run.
         passes: restructure passes (full or partial edge-file scans).
         divisions: successful divisions performed (divide & conquer only).
@@ -58,6 +62,16 @@ class DFSResult:
     def virtual_root(self) -> Optional[int]:
         """The ``γ`` node the result tree is rooted at."""
         return self.tree.root
+
+    @property
+    def retries(self) -> int:
+        """Extra block-transfer attempts the device needed (0 fault-free)."""
+        return self.io.retries
+
+    @property
+    def faults(self) -> int:
+        """Block-level faults injected/observed during the run."""
+        return self.io.faults
 
     def position_of(self) -> Dict[int, int]:
         """Map node -> position in the DFS total order."""

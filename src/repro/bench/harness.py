@@ -40,6 +40,8 @@ class CellResult:
     edge_count: int
     dnf: bool = False
     kernel: str = "python"
+    retries: int = 0  # physical retry attempts (excluded from `ios`)
+    faults: int = 0  # injected/observed block faults during the run
 
     @property
     def label(self) -> str:
@@ -74,12 +76,13 @@ def run_cell(
             )
         except ConvergenceError:
             elapsed = time.perf_counter() - started
-            ios = (device.stats.snapshot() - before).total
+            delta = device.stats.snapshot() - before
             return CellResult(
-                x=x, algorithm=algorithm, time_seconds=elapsed, ios=ios,
+                x=x, algorithm=algorithm, time_seconds=elapsed, ios=delta.total,
                 passes=0, divisions=0,
                 node_count=node_count, edge_count=graph.edge_count, dnf=True,
                 kernel=device.kernel.name,
+                retries=delta.retries, faults=delta.faults,
             )
         return CellResult(
             x=x, algorithm=algorithm,
@@ -87,6 +90,7 @@ def run_cell(
             passes=result.passes, divisions=result.divisions,
             node_count=node_count, edge_count=graph.edge_count,
             kernel=result.kernel,
+            retries=result.io.retries, faults=result.io.faults,
         )
 
 

@@ -95,12 +95,20 @@ def render_experiment(
 
 
 def render_csv(results: Sequence[CellResult]) -> str:
-    """Machine-readable dump of a series."""
-    lines = ["x,algorithm,time_seconds,ios,passes,divisions,nodes,edges,dnf,kernel"]
+    """Machine-readable dump of a series.
+
+    ``ios`` is the logical charge (identical under any survivable fault
+    plan); ``retries``/``faults`` report what the resilience layer absorbed.
+    """
+    lines = [
+        "x,algorithm,time_seconds,ios,passes,divisions,nodes,edges,"
+        "retries,faults,dnf,kernel"
+    ]
     for cell in results:
         lines.append(
             f"{cell.x},{cell.algorithm},{cell.time_seconds:.4f},{cell.ios},"
             f"{cell.passes},{cell.divisions},{cell.node_count},"
-            f"{cell.edge_count},{int(cell.dnf)},{cell.kernel}"
+            f"{cell.edge_count},{cell.retries},{cell.faults},"
+            f"{int(cell.dnf)},{cell.kernel}"
         )
     return "\n".join(lines)

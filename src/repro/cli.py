@@ -32,7 +32,8 @@ from .core import verify_dfs_tree
 from .errors import ReproError
 from .graph import all_datasets, load_edge_list, write_edge_list
 from .graph.generators import power_law_graph_edges, random_graph_edges
-from .storage import BlockDevice
+from .storage import BlockDevice, FaultPlan
+from .storage.faults import FAULT_SEED_ENV_VAR
 
 
 def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -56,6 +57,28 @@ def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
         "--kernel", choices=["auto", "python", "numpy"], default=None,
         help="columnar kernel backend (default: $REPRO_KERNEL, then auto)",
     )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="inject seeded transient disk faults (replayable; default: "
+             f"${FAULT_SEED_ENV_VAR} when set, else no faults)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.02,
+        help="per-block probability of a transient fault (with --fault-seed)",
+    )
+    parser.add_argument(
+        "--fault-max", type=int, default=None,
+        help="total fault budget for the run (default: unlimited)",
+    )
+
+
+def _resolve_fault_plan(args: argparse.Namespace):
+    """Build the device's FaultPlan from --fault-* flags / $REPRO_FAULT_SEED."""
+    if args.fault_seed is not None:
+        return FaultPlan.transient(
+            args.fault_seed, rate=args.fault_rate, max_faults=args.fault_max
+        )
+    return FaultPlan.from_env(rate=args.fault_rate, max_faults=args.fault_max)
 
 
 def _resolve_memory(args: argparse.Namespace, node_count: int, edge_count: int) -> int:
@@ -93,7 +116,10 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_dfs(args: argparse.Namespace) -> int:
-    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
+    fault_plan = _resolve_fault_plan(args)
+    with BlockDevice(
+        block_elements=args.block_size, kernel=args.kernel, fault_plan=fault_plan
+    ) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         print(
@@ -107,8 +133,16 @@ def _command_dfs(args: argparse.Namespace) -> int:
             f"{result.algorithm}: time={result.elapsed_seconds:.2f}s "
             f"io={result.io.total} (r={result.io.reads} w={result.io.writes}) "
             f"passes={result.passes} divisions={result.divisions} "
-            f"depth={result.max_depth} kernel={result.kernel}"
+            f"depth={result.max_depth} kernel={result.kernel} "
+            f"retries={result.retries} faults={result.faults}"
         )
+        if fault_plan is not None:
+            print(
+                f"fault plan: seed={fault_plan.seed} "
+                f"rate={fault_plan.read_error_rate} "
+                f"injected={device.faults.injected if device.faults else 0} "
+                f"checksum_failures={result.io.checksum_failures}"
+            )
         if args.verify:
             report = verify_dfs_tree(graph, result.tree)
             status = "VALID" if report.ok else "INVALID"

@@ -21,7 +21,7 @@ from typing import Optional
 
 from ..errors import StorageError
 from ..storage.block_device import BlockDevice
-from ..storage.serialization import INT_BYTES, pack_ints, unpack_ints
+from ..storage.serialization import pack_ints, unpack_ints
 from .tree import SpanningTree
 
 #: Format marker ("DFS1" as an int, little-endian).
@@ -56,12 +56,12 @@ def save_tree(
 
     path = device.allocate_path(name, suffix=".tree")
     block_values = device.block_elements
-    blocks = 0
     with open(path, "wb") as handle:
         for start in range(0, len(values), block_values):
-            handle.write(pack_ints(values[start : start + block_values]))
-            blocks += 1
-    device.stats.add_writes(blocks)
+            device.write_block(
+                handle, pack_ints(values[start : start + block_values]),
+                context=path,
+            )
     return path
 
 
@@ -69,16 +69,16 @@ def load_tree(device: BlockDevice, path: str) -> SpanningTree:
     """Reconstruct a tree written by :func:`save_tree` (I/O-counted).
 
     Raises:
-        StorageError: on a bad magic number or truncated file.
+        StorageError: on a bad magic number, truncated file, or (via
+            :class:`~repro.errors.CorruptBlockError`) a block whose
+            checksum no longer matches.
     """
-    block_bytes = device.block_elements * INT_BYTES
     values = []
     with open(path, "rb") as handle:
         while True:
-            chunk = handle.read(block_bytes)
-            if not chunk:
+            chunk = device.read_block(handle, context=path)
+            if chunk is None:
                 break
-            device.stats.add_reads(1)
             values.extend(unpack_ints(chunk))
     if len(values) < 3 or values[0] != MAGIC:
         raise StorageError(f"{path} is not a tree checkpoint")

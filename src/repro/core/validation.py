@@ -66,12 +66,28 @@ def check_spanning_tree(tree: SpanningTree, node_ids: Iterable[int]) -> TreeChec
 
 @dataclass
 class DFSTreeReport:
-    """Outcome of a DFS-Tree verification scan."""
+    """Outcome of a DFS-Tree verification scan.
+
+    Attributes:
+        ok: whether no forward-cross edge was found.
+        forward_cross_count: number of forward-cross edges seen.
+        first_offender: the first forward-cross edge, if any.
+        counts: edges seen per :class:`~repro.core.classify.EdgeType`.
+            **Self-loops are counted as** ``BACKWARD`` **without consulting
+            the interval index**: ``(u, u)`` is trivially an edge to an
+            ancestor-or-self, it can never be forward-cross, and the index
+            does not define the relation of a node to itself.  Graphs with
+            many self-loops therefore report them all under ``BACKWARD``;
+            the dedicated ``self_loops`` field separates them back out.
+        self_loops: how many of the ``BACKWARD`` edges were ``(u, u)``
+            self-loops.
+    """
 
     ok: bool
     forward_cross_count: int
     first_offender: Optional[Edge]
     counts: Dict[EdgeType, int]
+    self_loops: int = 0
 
     def __bool__(self) -> bool:
         return self.ok
@@ -83,10 +99,14 @@ def _classify_stream(
     index = IntervalIndex(tree)
     counts: Dict[EdgeType, int] = {kind: 0 for kind in EdgeType}
     forward_cross = 0
+    self_loops = 0
     first: Optional[Edge] = None
     for u, v in edges:
         if u == v:
+            # Self-loop special case: classified BACKWARD by definition,
+            # bypassing the index (see DFSTreeReport.counts).
             counts[EdgeType.BACKWARD] += 1
+            self_loops += 1
             continue
         kind = index.classify(u, v)
         counts[kind] += 1
@@ -96,7 +116,9 @@ def _classify_stream(
                 first = (u, v)
             if stop_early:
                 break
-    return DFSTreeReport(forward_cross == 0, forward_cross, first, counts)
+    return DFSTreeReport(
+        forward_cross == 0, forward_cross, first, counts, self_loops
+    )
 
 
 def verify_dfs_tree(

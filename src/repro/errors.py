@@ -21,6 +21,44 @@ class ClosedFileError(StorageError):
     """An operation was attempted on a closed device or edge file."""
 
 
+class TransientIOError(StorageError):
+    """A single block transfer failed in a retryable way.
+
+    Raised by the fault-injection layer (and the place a real deployment
+    would surface ``EIO``/timeout errors).  :class:`~repro.storage.BlockDevice`
+    catches it internally and retries with backoff; callers only ever see
+    :class:`RetriesExhausted` once the retry budget is spent.
+    """
+
+
+class CorruptBlockError(StorageError):
+    """A block's checksum did not match its payload, or its frame was cut
+    short.
+
+    Detected by the per-block CRC the serialization layer writes (see
+    ``docs/ARCHITECTURE.md``, *Fault model*).  A corrupt block is retried —
+    in-flight (torn) corruption heals on re-read — but corruption that
+    persists on disk raises this error to the caller instead of silently
+    classifying garbage edges.
+    """
+
+
+class RetriesExhausted(StorageError):
+    """Bounded retry-with-backoff gave up on a block transfer.
+
+    Attributes:
+        last_error: the final underlying error (a
+            :class:`TransientIOError` or :class:`CorruptBlockError`).
+        attempts: how many attempts were made (1 + retries).
+    """
+
+    def __init__(self, message: str, last_error: "Exception | None" = None,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
 class MemoryBudgetExceeded(ReproError):
     """A charge against :class:`repro.storage.MemoryBudget` went over `M`."""
 

@@ -7,18 +7,24 @@ partition routing, external sort, an external stack, and logical memory
 budgeting).
 """
 
-from .block_device import DEFAULT_BLOCK_ELEMENTS, BlockDevice
+from .block_device import DEFAULT_BLOCK_ELEMENTS, DEFAULT_MAX_RETRIES, BlockDevice
 from .buffer_pool import TREE_NODE_COST, MemoryBudget
 from .edge_file import EdgeFile, PartitionWriter, edge_file_from_edges
 from .external_sort import sort_edge_file
 from .external_stack import ExternalStack
+from .faults import FAULT_SEED_ENV_VAR, FaultEvent, FaultInjector, FaultPlan
 from .io_stats import IOSnapshot, IOStats
 
 __all__ = [
     "BlockDevice",
     "DEFAULT_BLOCK_ELEMENTS",
+    "DEFAULT_MAX_RETRIES",
     "EdgeFile",
     "ExternalStack",
+    "FAULT_SEED_ENV_VAR",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "IOSnapshot",
     "IOStats",
     "MemoryBudget",

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..errors import ClosedFileError, StorageError
 from .block_device import BlockDevice
-from .serialization import EDGE_BYTES, Edge, pack_edges, unpack_edges
+from .serialization import Edge, pack_edges, unpack_edges
 
 
 class EdgeFile:
@@ -49,6 +49,10 @@ class EdgeFile:
     def _check_writable(self) -> None:
         if self._deleted:
             raise ClosedFileError(f"edge file {self.path} was deleted")
+        if self.device.closed:
+            raise ClosedFileError(
+                f"edge file {self.path} belongs to a closed BlockDevice"
+            )
         if self._sealed:
             raise StorageError(f"edge file {self.path} is sealed; cannot append")
 
@@ -104,10 +108,13 @@ class EdgeFile:
         pack_columns = self.device.kernel.pack_edge_columns
         while total - position >= block_elements:
             stop = position + block_elements
-            self._handle.write(pack_columns(u_col[position:stop], v_col[position:stop]))
+            self.device.write_block(
+                self._handle,
+                pack_columns(u_col[position:stop], v_col[position:stop]),
+                context=self.path,
+            )
             self.edge_count += block_elements
             self.block_count += 1
-            self.device.stats.add_writes(1)
             position = stop
         if position < total:
             buffer.extend(zip(u_col[position:], v_col[position:]))
@@ -115,10 +122,11 @@ class EdgeFile:
     def _flush_block(self) -> None:
         if not self._write_buffer:
             return
-        self._handle.write(pack_edges(self._write_buffer))
+        self.device.write_block(
+            self._handle, pack_edges(self._write_buffer), context=self.path
+        )
         self.edge_count += len(self._write_buffer)
         self.block_count += 1
-        self.device.stats.add_writes(1)
         self._write_buffer.clear()
 
     def seal(self) -> "EdgeFile":
@@ -142,19 +150,27 @@ class EdgeFile:
     def _check_readable(self) -> None:
         if self._deleted:
             raise ClosedFileError(f"edge file {self.path} was deleted")
+        if self.device.closed:
+            raise ClosedFileError(
+                f"edge file {self.path} belongs to a closed BlockDevice"
+            )
         if not self._sealed:
             raise StorageError(f"edge file {self.path} must be sealed before scanning")
 
     def scan_blocks(self) -> Iterator[List[Edge]]:
-        """Yield one list of edges per block, charging one read I/O each."""
+        """Yield one list of edges per block, charging one read I/O each.
+
+        Raises:
+            CorruptBlockError: when a block's checksum failure persists
+                across the device's retry budget.
+        """
         self._check_readable()
-        block_bytes = self.device.block_elements * EDGE_BYTES
+        device = self.device
         with open(self.path, "rb") as handle:
             while True:
-                data = handle.read(block_bytes)
-                if not data:
+                data = device.read_block(handle, context=self.path)
+                if data is None:
                     break
-                self.device.stats.add_reads(1)
                 yield unpack_edges(data)
 
     def scan_columns(self) -> Iterator[Tuple[Sequence[int], Sequence[int]]]:
@@ -167,14 +183,13 @@ class EdgeFile:
         of a list of per-edge tuples.
         """
         self._check_readable()
-        unpack_columns = self.device.kernel.unpack_edge_columns
-        block_bytes = self.device.block_elements * EDGE_BYTES
+        device = self.device
+        unpack_columns = device.kernel.unpack_edge_columns
         with open(self.path, "rb") as handle:
             while True:
-                data = handle.read(block_bytes)
-                if not data:
+                data = device.read_block(handle, context=self.path)
+                if data is None:
                     break
-                self.device.stats.add_reads(1)
                 yield unpack_columns(data)
 
     def scan(self) -> Iterator[Edge]:

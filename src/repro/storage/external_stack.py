@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from ..errors import ClosedFileError, StorageError
 from .block_device import BlockDevice
-from .serialization import INT_BYTES, pack_ints, unpack_ints
+from .serialization import FRAME_HEADER_BYTES, INT_BYTES, pack_ints, unpack_ints
 
 
 class ExternalStack:
@@ -105,24 +105,27 @@ class ExternalStack:
         return value
 
     # ------------------------------------------------------------------
+    def _page_slot_bytes(self) -> int:
+        # Spilled pages are always full, so each occupies a fixed slot:
+        # one frame header plus the packed page payload.
+        return FRAME_HEADER_BYTES + self.page_elements * INT_BYTES
+
     def _spill_coldest(self) -> None:
         page = self._hot.pop(0)
         if len(page) != self.page_elements:
             raise StorageError("internal error: spilling a non-full page")
-        offset = self._spilled_pages * self.page_elements * INT_BYTES
-        self._handle.seek(offset)
-        self._handle.write(pack_ints(page))
+        self._handle.seek(self._spilled_pages * self._page_slot_bytes())
+        self.device.write_block(self._handle, pack_ints(page), context=self._path)
         self._spilled_pages += 1
-        self.device.stats.add_writes(1)
 
     def _reload_hottest_spilled(self) -> None:
         if self._spilled_pages == 0:
             raise StorageError("internal error: nothing spilled to reload")
         self._spilled_pages -= 1
-        offset = self._spilled_pages * self.page_elements * INT_BYTES
-        self._handle.seek(offset)
-        data = self._handle.read(self.page_elements * INT_BYTES)
-        self.device.stats.add_reads(1)
+        self._handle.seek(self._spilled_pages * self._page_slot_bytes())
+        data = self.device.read_block(self._handle, context=self._path)
+        if data is None:
+            raise StorageError("internal error: spilled page missing on disk")
         self._hot.append(unpack_ints(data))
 
     # ------------------------------------------------------------------

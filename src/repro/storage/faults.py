@@ -1,0 +1,227 @@
+"""Deterministic fault injection for the storage stack.
+
+A :class:`FaultPlan` is an immutable, seeded description of how a device
+misbehaves: transient read/write errors, torn (in-flight) blocks, persistent
+bit-flip corruption, and injected latency.  Passing a plan to
+:class:`~repro.storage.block_device.BlockDevice` makes every block transfer
+consult a :class:`FaultInjector` bound to the plan; because the injector
+draws from a private ``random.Random(seed)`` in a fixed order per
+operation, *the same workload under the same plan replays the exact same
+failure schedule*.  That turns "does DFS survive disk trouble?" into a
+reproducible one-line assertion (see ``tests/faults/``).
+
+Fault taxonomy (and survivability):
+
+``read-error`` / ``write-error``
+    The transfer raises :class:`~repro.errors.TransientIOError` before any
+    bytes move — the simulated ``EIO``/timeout.  Survivable: the device
+    retries with backoff and the retry re-draws.
+``torn-read``
+    The block's bytes are damaged *in flight*: the payload the reader sees
+    is truncated or bit-flipped but the disk is intact.  Survivable: the
+    CRC check fails, the device re-reads, and the second read is clean.
+``corrupt-write``
+    A bit is flipped in the payload *as persisted*, after the CRC was
+    computed.  Unsurvivable by retry: every read of that block fails its
+    checksum and the device raises
+    :class:`~repro.errors.CorruptBlockError` — the error is *detected*,
+    never silently classified.
+``latency``
+    The transfer sleeps ``latency_seconds`` first.  Never fails anything;
+    exists so time-based harnesses see realistic jitter.
+
+``max_faults`` caps the total number of injected faults, so a plan can be
+made survivable by construction ("exactly 50 transient faults, then a
+clean disk").  The injector records every injection in
+:attr:`FaultInjector.log` for tests that assert an exact schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import TransientIOError
+
+#: Environment variable consulted by :func:`FaultPlan.from_env` (and the
+#: CLI's ``--fault-seed`` default) — the CI fault-injection matrix sets it.
+FAULT_SEED_ENV_VAR = "REPRO_FAULT_SEED"
+
+#: Fault kinds as they appear in :attr:`FaultInjector.log`.
+READ_ERROR = "read-error"
+WRITE_ERROR = "write-error"
+TORN_READ = "torn-read"
+CORRUPT_WRITE = "corrupt-write"
+LATENCY = "latency"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, seeded description of a device's failure behaviour.
+
+    Attributes:
+        seed: seed for the private RNG; two injectors bound to equal plans
+            produce identical schedules for identical operation sequences.
+        read_error_rate: probability a read attempt raises
+            :class:`~repro.errors.TransientIOError` (re-drawn per retry).
+        write_error_rate: probability a write attempt raises
+            :class:`~repro.errors.TransientIOError` (re-drawn per retry).
+        torn_read_rate: probability a read's payload arrives damaged
+            (detected by CRC, healed by re-read).
+        corrupt_write_rate: probability a written block is persisted with a
+            flipped bit (detected on every subsequent read; *unsurvivable*).
+        latency_rate: probability a transfer sleeps ``latency_seconds``.
+        latency_seconds: injected latency per latency fault.
+        max_faults: total fault budget across all kinds; ``None`` is
+            unlimited.  Latency injections count against the budget too.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    torn_read_rate: float = 0.0
+    corrupt_write_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.0
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("read_error_rate", "write_error_rate", "torn_read_rate",
+                     "corrupt_write_rate", "latency_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]; got {value}")
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+    @classmethod
+    def transient(cls, seed: int, rate: float = 0.02,
+                  max_faults: Optional[int] = None) -> "FaultPlan":
+        """A survivable plan: transient read/write errors and torn reads only."""
+        return cls(seed=seed, read_error_rate=rate, write_error_rate=rate,
+                   torn_read_rate=rate / 2, max_faults=max_faults)
+
+    @classmethod
+    def from_env(cls, rate: float = 0.02,
+                 max_faults: Optional[int] = None) -> Optional["FaultPlan"]:
+        """Build a transient plan from ``$REPRO_FAULT_SEED``; ``None`` if unset."""
+        raw = os.environ.get(FAULT_SEED_ENV_VAR)
+        if not raw:
+            return None
+        return cls.transient(int(raw), rate=rate, max_faults=max_faults)
+
+    def bind(self) -> "FaultInjector":
+        """Create a fresh injector replaying this plan from the start."""
+        return FaultInjector(self)
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, as recorded in :attr:`FaultInjector.log`."""
+
+    op_index: int  # ordinal of the block operation (reads + writes)
+    kind: str  # one of the module's fault-kind constants
+    attempt: int  # 0 = first attempt, 1+ = retries
+
+
+class FaultInjector:
+    """Mutable replay state for one :class:`FaultPlan` on one device.
+
+    The :class:`~repro.storage.block_device.BlockDevice` calls the hook
+    methods below from inside its retry loop.  Draw order per hook is
+    fixed (latency, then error, then damage), so a schedule is a pure
+    function of the plan and the operation sequence.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.log: List[FaultEvent] = []
+        self._rng = random.Random(plan.seed)
+        self._op_index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def injected(self) -> int:
+        """Total faults injected so far."""
+        return len(self.log)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the plan's fault budget is spent."""
+        budget = self.plan.max_faults
+        return budget is not None and self.injected >= budget
+
+    def _fire(self, rate: float) -> bool:
+        if rate <= 0.0 or self.exhausted:
+            # Keep the draw even when the budget is spent so the schedule
+            # *prefix* is identical between bounded and unbounded plans.
+            if rate > 0.0:
+                self._rng.random()
+            return False
+        return self._rng.random() < rate
+
+    def _record(self, kind: str, attempt: int) -> None:
+        self.log.append(FaultEvent(self._op_index, kind, attempt))
+
+    def _maybe_sleep(self, attempt: int) -> None:
+        if self._fire(self.plan.latency_rate):
+            self._record(LATENCY, attempt)
+            if self.plan.latency_seconds > 0:
+                time.sleep(self.plan.latency_seconds)
+
+    # ------------------------------------------------------------------
+    # hooks called by BlockDevice
+    # ------------------------------------------------------------------
+    def begin_op(self) -> int:
+        """Advance the operation ordinal (one logical block transfer)."""
+        self._op_index += 1
+        return self._op_index
+
+    def before_read(self, attempt: int) -> None:
+        """Latency / transient-error injection for one read attempt."""
+        self._maybe_sleep(attempt)
+        if self._fire(self.plan.read_error_rate):
+            self._record(READ_ERROR, attempt)
+            raise TransientIOError(
+                f"injected transient read error (op {self._op_index}, "
+                f"attempt {attempt})"
+            )
+
+    def before_write(self, attempt: int) -> None:
+        """Latency / transient-error injection for one write attempt."""
+        self._maybe_sleep(attempt)
+        if self._fire(self.plan.write_error_rate):
+            self._record(WRITE_ERROR, attempt)
+            raise TransientIOError(
+                f"injected transient write error (op {self._op_index}, "
+                f"attempt {attempt})"
+            )
+
+    def damage_read(self, payload: bytes, attempt: int) -> bytes:
+        """Possibly damage a read payload in flight (torn block)."""
+        if payload and self._fire(self.plan.torn_read_rate):
+            self._record(TORN_READ, attempt)
+            return _damage(payload, self._rng)
+        return payload
+
+    def damage_write(self, payload: bytes) -> bytes:
+        """Possibly damage a write payload as persisted (bit flip)."""
+        if payload and self._fire(self.plan.corrupt_write_rate):
+            self._record(CORRUPT_WRITE, attempt=0)
+            return _damage(payload, self._rng, tear=False)
+        return payload
+
+
+def _damage(payload: bytes, rng: random.Random, tear: bool = True) -> bytes:
+    """Return a damaged copy of ``payload``: a bit flip or (optionally) a tear."""
+    if tear and rng.random() < 0.5:
+        # Torn block: a prefix of the payload followed by nothing.
+        return payload[: rng.randrange(len(payload))]
+    position = rng.randrange(len(payload))
+    flipped = payload[position] ^ (1 << rng.randrange(8))
+    return payload[:position] + bytes((flipped,)) + payload[position + 1:]

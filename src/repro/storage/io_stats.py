@@ -6,6 +6,14 @@ block of ``B`` elements per I/O.  Everything the paper plots in its "(b) I/O"
 panels is a count of such block transfers.  :class:`IOStats` is the mutable
 counter threaded through the storage layer; :class:`IOSnapshot` is an
 immutable point-in-time copy used to compute per-phase deltas.
+
+Since the resilience layer landed, the counter also tracks the *physical*
+cost of surviving failures — ``retries`` (extra attempts beyond the first),
+``faults`` (injected or observed block-level failures), and
+``checksum_failures`` (blocks whose CRC did not match).  Those never feed
+into :attr:`IOSnapshot.total`: the logical read/write charges the paper
+reasons about are identical with and without faults, which is exactly the
+invariant the fault tests assert.
 """
 
 from __future__ import annotations
@@ -15,25 +23,45 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class IOSnapshot:
-    """Immutable point-in-time copy of an :class:`IOStats` counter."""
+    """Immutable point-in-time copy of an :class:`IOStats` counter.
+
+    ``reads``/``writes`` are logical block transfers; ``retries``,
+    ``faults`` and ``checksum_failures`` are resilience-layer observables
+    (see the module docstring) and are excluded from :attr:`total`.
+    """
 
     reads: int
     writes: int
+    retries: int = 0
+    faults: int = 0
+    checksum_failures: int = 0
 
     @property
     def total(self) -> int:
-        """Total block transfers (reads + writes)."""
+        """Total logical block transfers (reads + writes)."""
         return self.reads + self.writes
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
-        return IOSnapshot(self.reads - other.reads, self.writes - other.writes)
+        return IOSnapshot(
+            self.reads - other.reads,
+            self.writes - other.writes,
+            self.retries - other.retries,
+            self.faults - other.faults,
+            self.checksum_failures - other.checksum_failures,
+        )
 
     def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
-        return IOSnapshot(self.reads + other.reads, self.writes + other.writes)
+        return IOSnapshot(
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.retries + other.retries,
+            self.faults + other.faults,
+            self.checksum_failures + other.checksum_failures,
+        )
 
 
 class IOStats:
-    """Mutable counter of block reads and writes.
+    """Mutable counter of block reads and writes (plus fault observables).
 
     One :class:`IOStats` instance belongs to each
     :class:`~repro.storage.block_device.BlockDevice`; every block transfer
@@ -45,11 +73,14 @@ class IOStats:
         cost = device.stats.snapshot() - before
     """
 
-    __slots__ = ("reads", "writes")
+    __slots__ = ("reads", "writes", "retries", "faults", "checksum_failures")
 
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
+        self.retries = 0
+        self.faults = 0
+        self.checksum_failures = 0
 
     def add_reads(self, blocks: int = 1) -> None:
         """Record ``blocks`` block reads."""
@@ -63,19 +94,49 @@ class IOStats:
             raise ValueError("block count must be non-negative")
         self.writes += blocks
 
+    def add_retries(self, attempts: int = 1) -> None:
+        """Record ``attempts`` extra block-transfer attempts (not charged)."""
+        if attempts < 0:
+            raise ValueError("attempt count must be non-negative")
+        self.retries += attempts
+
+    def add_faults(self, count: int = 1) -> None:
+        """Record ``count`` block-level faults (injected or observed)."""
+        if count < 0:
+            raise ValueError("fault count must be non-negative")
+        self.faults += count
+
+    def add_checksum_failures(self, count: int = 1) -> None:
+        """Record ``count`` blocks whose CRC did not match on read."""
+        if count < 0:
+            raise ValueError("failure count must be non-negative")
+        self.checksum_failures += count
+
     @property
     def total(self) -> int:
-        """Total block transfers so far."""
+        """Total logical block transfers so far."""
         return self.reads + self.writes
 
     def snapshot(self) -> IOSnapshot:
         """Return an immutable copy of the current counters."""
-        return IOSnapshot(self.reads, self.writes)
+        return IOSnapshot(
+            self.reads, self.writes, self.retries, self.faults,
+            self.checksum_failures,
+        )
 
     def reset(self) -> None:
-        """Zero both counters."""
+        """Zero every counter."""
         self.reads = 0
         self.writes = 0
+        self.retries = 0
+        self.faults = 0
+        self.checksum_failures = 0
 
     def __repr__(self) -> str:
-        return f"IOStats(reads={self.reads}, writes={self.writes})"
+        extras = ""
+        if self.retries or self.faults or self.checksum_failures:
+            extras = (
+                f", retries={self.retries}, faults={self.faults}, "
+                f"checksum_failures={self.checksum_failures}"
+            )
+        return f"IOStats(reads={self.reads}, writes={self.writes}{extras})"

@@ -60,7 +60,7 @@ class TestRenderCSV:
         lines = csv.splitlines()
         assert lines[0].startswith("x,algorithm,time_seconds,ios")
         assert lines[0].endswith(",dnf,kernel")
-        assert "20%,divide-td,1.2345,42,3,1,100,500,0,python" in lines[1]
+        assert "20%,divide-td,1.2345,42,3,1,100,500,0,0,0,python" in lines[1]
 
     def test_dnf_flag(self):
         csv = render_csv([cell("20%", "a", dnf=True)])

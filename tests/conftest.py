@@ -2,12 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import BlockDevice, DiskGraph
 from repro.core import check_spanning_tree, verify_dfs_tree
 from repro.core.tree import SpanningTree
 from repro.graph.digraph import Digraph
+
+# Hypothesis profiles.  CI runs with HYPOTHESIS_PROFILE=ci: no deadline
+# (shared runners have noisy clocks) and print_blob, so a failing example
+# is printed as a `@reproduce_failure` blob that replays the exact case
+# locally.  These are *defaults* — per-test `settings(...)` decorators
+# instantiated after this module loads inherit whatever they leave unset.
+hypothesis_settings.register_profile("ci", deadline=None, print_blob=True)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -85,9 +85,13 @@ class TestErrors:
             save_tree(device, SpanningTree())
 
     def test_bad_magic_rejected(self, device):
+        # A well-framed block (the checksum layer is satisfied) whose
+        # payload is not a checkpoint: the format check must still reject.
+        from repro.storage.serialization import frame_block, pack_ints
+
         path = device.allocate_path(suffix=".tree")
         with open(path, "wb") as handle:
-            handle.write(b"\x00" * 12)
+            handle.write(frame_block(pack_ints([0, 0, 0])))
         with pytest.raises(StorageError, match="not a tree checkpoint"):
             load_tree(device, path)
 

@@ -125,3 +125,55 @@ class TestRealPreorder:
 
     def test_empty_tree(self):
         assert real_preorder(SpanningTree()) == []
+
+
+class TestSelfLoopClassification:
+    """Regression: self-loops are BACKWARD *by definition*, index-free.
+
+    The interval index does not define a node's relation to itself, so
+    ``_classify_stream`` short-circuits ``(u, u)`` edges before consulting
+    it (see ``DFSTreeReport.counts``); the ``self_loops`` field reports
+    how many BACKWARD edges were such short-circuits.
+    """
+
+    def test_self_loops_reported_separately(self):
+        graph = Digraph.from_edges(3, [(0, 0), (1, 1), (0, 1), (2, 0)])
+        tree = chain_tree(3)
+        report = verify_dfs_tree_inmemory(graph, tree)
+        assert report.ok
+        assert report.self_loops == 2
+        # BACKWARD covers the loops plus the genuine back edge (2, 0).
+        assert report.counts[EdgeType.BACKWARD] == 3
+
+    def test_self_loop_heavy_graph(self):
+        # Every node carries loops; a degenerate but legal digraph.
+        loops = [(node, node) for node in range(10) for _ in range(5)]
+        graph = Digraph.from_edges(10, loops + [(i, i + 1) for i in range(9)])
+        tree = chain_tree(10)
+        report = verify_dfs_tree_inmemory(graph, tree)
+        assert report.ok
+        assert report.self_loops == 50
+        assert report.counts[EdgeType.BACKWARD] == 50
+        assert report.counts[EdgeType.TREE] == 9
+
+    def test_self_loops_never_forward_cross(self):
+        # Even on a tree that makes every non-loop edge forward-cross,
+        # the loops stay BACKWARD and cannot flip the verdict on their own.
+        graph = Digraph.from_edges(4, [(n, n) for n in range(4)])
+        tree = SpanningTree()
+        tree.add_node(4, virtual=True)
+        tree.root = 4
+        for node in range(4):  # all siblings under γ
+            tree.add_node(node)
+            tree.attach(node, 4)
+        report = verify_dfs_tree_inmemory(graph, tree)
+        assert report.ok
+        assert report.self_loops == 4
+        assert report.forward_cross_count == 0
+
+    def test_self_loops_on_disk_scan(self, device):
+        graph = Digraph.from_edges(2, [(0, 0), (0, 1), (1, 1)])
+        disk = DiskGraph.from_digraph(device, graph)
+        report = verify_dfs_tree(disk, chain_tree(2))
+        assert report.ok
+        assert report.self_loops == 2

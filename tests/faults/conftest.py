@@ -1,0 +1,21 @@
+"""Shared fixtures for the fault-injection suite.
+
+The suite is seed-parameterized so CI can sweep ``REPRO_FAULT_SEED`` over a
+matrix: every plan built from :func:`fault_seed` replays a different —
+but fully reproducible — failure schedule per CI leg.
+"""
+
+import os
+
+import pytest
+
+from repro.storage.faults import FAULT_SEED_ENV_VAR
+
+#: Seed used when the environment does not provide one.
+DEFAULT_FAULT_SEED = 7
+
+
+@pytest.fixture
+def fault_seed() -> int:
+    """The CI-matrix fault seed (``$REPRO_FAULT_SEED``), or the default."""
+    return int(os.environ.get(FAULT_SEED_ENV_VAR, DEFAULT_FAULT_SEED))

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ClosedFileError, StorageError
+from repro.errors import ClosedFileError, CorruptBlockError, StorageError
 from repro.storage import BlockDevice, PartitionWriter, edge_file_from_edges
 
 node_ids = st.integers(min_value=0, max_value=10_000)
@@ -228,3 +228,60 @@ class TestColumnarPaths:
             by_columns.seal()
             assert by_columns.read_all() == edges
             assert by_columns.block_count == by_rows.block_count
+
+
+class TestColumnarErrorPaths:
+    """Error paths of scan_columns / extend_columns (and friends)."""
+
+    def test_extend_columns_on_closed_device(self):
+        device = BlockDevice(block_elements=4)
+        edge_file = device.create_edge_file()
+        edge_file.extend_columns([1, 2], [3, 4])
+        device.close()
+        with pytest.raises(ClosedFileError, match="closed BlockDevice"):
+            edge_file.extend_columns([5], [6])
+
+    def test_scan_columns_on_closed_device(self):
+        device = BlockDevice(block_elements=4)
+        edge_file = edge_file_from_edges(device, [(1, 2), (3, 4)])
+        device.close()
+        with pytest.raises(ClosedFileError, match="closed BlockDevice"):
+            list(edge_file.scan_columns())
+        with pytest.raises(ClosedFileError):
+            edge_file.read_all()
+
+    def test_scan_columns_truncated_final_block(self, device_factory):
+        device = device_factory(block_elements=4)
+        edge_file = edge_file_from_edges(device, [(i, i) for i in range(6)])
+        # Tear the last (partial) block's frame mid-payload.
+        with open(edge_file.path, "r+b") as handle:
+            handle.seek(0, 2)
+            handle.truncate(handle.tell() - 3)
+        with pytest.raises(CorruptBlockError, match="truncated"):
+            list(edge_file.scan_columns())
+        # The same damage is caught by the row-wise twin too.
+        with pytest.raises(CorruptBlockError):
+            list(edge_file.scan_blocks())
+
+    def test_scan_columns_zero_edge_file(self, device):
+        edge_file = edge_file_from_edges(device, [])
+        assert list(edge_file.scan_columns()) == []
+        assert device.stats.reads == 0  # empty scan charges nothing
+
+    def test_extend_columns_empty_columns_write_nothing(self, device):
+        edge_file = device.create_edge_file()
+        edge_file.extend_columns([], [])
+        edge_file.seal()
+        assert edge_file.block_count == 0
+        assert edge_file.read_all() == []
+
+    def test_extend_columns_after_seal_rejected(self, device):
+        edge_file = edge_file_from_edges(device, [(1, 2)])
+        with pytest.raises(StorageError, match="sealed"):
+            edge_file.extend_columns([1], [2])
+
+    def test_scan_columns_on_deleted_file(self, device):
+        edge_file = edge_file_from_edges(device, [(1, 2)])
+        edge_file.delete()
+        with pytest.raises(ClosedFileError, match="deleted"):
+            list(edge_file.scan_columns())
