@@ -106,6 +106,7 @@ class RunContext:
         self.trace: list = []
         self.trace_enabled = False
         self._start_io = graph.device.stats.snapshot()
+        # repro: allow[SEX302] observational timing metric; never feeds tree construction
         self._start_time = time.perf_counter()
         self._deadline = (
             None
@@ -119,6 +120,7 @@ class RunContext:
         The cooperative analogue of the paper's 8-hour experiment timeout;
         checked once per restructure pass.
         """
+        # repro: allow[SEX302] deadline aborts with ConvergenceError; it never alters the result tree
         if self._deadline is not None and time.perf_counter() > self._deadline:
             from ..errors import ConvergenceError
 
@@ -140,6 +142,7 @@ class RunContext:
     def finish(self, tree: SpanningTree) -> DFSResult:
         """Package the final tree into a :class:`DFSResult`."""
         io = self.graph.device.stats.snapshot() - self._start_io
+        # repro: allow[SEX302] observational timing metric; never feeds tree construction
         elapsed = time.perf_counter() - self._start_time
         return DFSResult(
             tree=tree,

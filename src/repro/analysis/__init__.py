@@ -1,0 +1,51 @@
+"""Static conformance checking for the semi-external model.
+
+The paper's headline property — memory holds only ``k·|V|`` state while
+the edge set stays on disk with every block transfer charged to I/O — is
+a *convention* the rest of the library merely follows.  This package
+machine-checks it: an AST-based rule engine (stdlib only) walks the
+source tree and reports any pattern that would break the model silently,
+each with a stable ``SEXnnn`` code, an exact location, and an inline
+waiver escape hatch (``# repro: allow[SEXnnn] <reason>``).
+
+Rule families (full catalogue in ``docs/ANALYSIS.md``):
+
+* ``SEX1xx`` — I/O containment: raw file primitives only inside
+  ``repro/storage/`` and ``repro/graph/io.py``;
+* ``SEX2xx`` — memory discipline: no O(E) materialization of edge scans
+  in the algorithm core;
+* ``SEX3xx`` — determinism: no unseeded randomness, wall-clock logic, or
+  unordered iteration feeding tree construction;
+* ``SEX4xx`` — error hygiene: no bare/broad ``except`` swallowing the
+  typed error hierarchy, no ``assert`` for runtime validation.
+
+Programmatic API::
+
+    from repro.analysis import analyze_source, run_analysis
+
+    report = run_analysis(["src"])
+    assert report.ok, report.render_text()
+
+CLI: ``python -m repro.analysis src`` (exit 1 on violations).
+"""
+
+from .diagnostics import REPORT_SCHEMA_VERSION, AnalysisReport, Violation, WaiverRecord
+from .engine import analyze_file, analyze_source, model_path, run_analysis
+from .rules import META_CODES, RULES, known_codes
+from .waivers import Waiver, extract_waivers
+
+__all__ = [
+    "AnalysisReport",
+    "META_CODES",
+    "REPORT_SCHEMA_VERSION",
+    "RULES",
+    "Violation",
+    "Waiver",
+    "WaiverRecord",
+    "analyze_file",
+    "analyze_source",
+    "extract_waivers",
+    "known_codes",
+    "model_path",
+    "run_analysis",
+]

@@ -1,0 +1,117 @@
+"""Diagnostic records produced by the conformance checker.
+
+A :class:`Violation` pins one broken rule to an exact ``path:line:col``
+location; an :class:`AnalysisReport` aggregates every file's violations
+plus the waivers that were consulted, and renders itself as text or as
+the stable JSON document the CI job and editor integrations consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Version of the JSON report schema (bump on breaking shape changes).
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at an exact source location.
+
+    Ordering is ``(path, line, column, code)`` so reports are stable
+    across runs and dict-iteration orders.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-report shape of this violation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class WaiverRecord:
+    """One ``# repro: allow[...]`` comment, as it appears in the report."""
+
+    path: str
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    used: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-report shape of this waiver."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "codes": list(self.codes),
+            "reason": self.reason,
+            "used": self.used,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """The complete outcome of one analysis run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    waivers: List[WaiverRecord] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the checked tree is conformant (no violations)."""
+        return not self.violations
+
+    def counts_by_code(self) -> Dict[str, int]:
+        """Violation tally per rule code, sorted by code."""
+        counts: Dict[str, int] = {}
+        for violation in sorted(self.violations):
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return counts
+
+    def render_text(self) -> str:
+        """Human-readable report: one line per violation plus a summary."""
+        lines = [violation.render() for violation in sorted(self.violations)]
+        if self.violations:
+            tally = ", ".join(
+                f"{code}: {count}" for code, count in self.counts_by_code().items()
+            )
+            lines.append("")
+            lines.append(
+                f"{len(self.violations)} violation(s) in "
+                f"{self.files_checked} file(s) checked ({tally})"
+            )
+        else:
+            lines.append(
+                f"OK: {self.files_checked} file(s) checked, no violations"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The stable JSON document (see ``docs/ANALYSIS.md`` for the schema)."""
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "tool": "repro.analysis",
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violation_count": len(self.violations),
+            "counts": self.counts_by_code(),
+            "violations": [v.to_dict() for v in sorted(self.violations)],
+            "waivers": [w.to_dict() for w in self.waivers],
+        }

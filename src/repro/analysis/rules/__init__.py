@@ -1,0 +1,35 @@
+"""Rule registry for the conformance checker.
+
+Importing this package imports every rule family module, whose
+``@register`` decorators populate :data:`RULES`.  Codes are grouped by
+hundreds digit:
+
+* ``SEX0xx`` — engine/meta (waiver hygiene, parse failures);
+* ``SEX1xx`` — I/O containment;
+* ``SEX2xx`` — semi-external memory discipline;
+* ``SEX3xx`` — determinism;
+* ``SEX4xx`` — error hygiene.
+"""
+
+from . import determinism, error_hygiene, io_containment, memory_discipline
+from .base import (
+    META_CODES,
+    RULES,
+    RawViolation,
+    Rule,
+    known_codes,
+    register,
+)
+
+__all__ = [
+    "META_CODES",
+    "RULES",
+    "RawViolation",
+    "Rule",
+    "determinism",
+    "error_hygiene",
+    "io_containment",
+    "known_codes",
+    "memory_discipline",
+    "register",
+]

@@ -1,0 +1,145 @@
+"""Rule framework for the semi-external-model conformance checker.
+
+A :class:`Rule` inspects one parsed module and yields
+:class:`RawViolation` records (location + message; the engine attaches
+the file path and applies waivers).  Rules are registered in a module
+registry keyed by their ``SEX`` code so the CLI, the docs generator and
+the waiver validator all see the same inventory.
+
+Scoping vocabulary (``repro/…`` paths are computed from the *last*
+``repro`` component of a file's path, so fixture trees under a temp
+directory scope exactly like the real package):
+
+* ``STORAGE_LAYER`` — where raw file primitives are legal, because every
+  transfer there is framed, CRC-checked and charged to
+  :class:`~repro.storage.io_stats.IOStats`.
+* ``ALGORITHM_PATHS`` — the semi-external core, where only ``k·|V|``
+  state may live in memory and results must be deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple, Type
+
+#: Path prefixes where raw file I/O is allowed: the storage substrate and
+#: the text edge-list loader.  Everything else must go through BlockDevice.
+STORAGE_LAYER_PREFIXES: Tuple[str, ...] = ("repro/storage/",)
+STORAGE_LAYER_FILES: Tuple[str, ...] = ("repro/graph/io.py",)
+
+#: Path prefixes holding the semi-external algorithm core, where the
+#: memory-discipline and determinism rules apply.
+ALGORITHM_PATH_PREFIXES: Tuple[str, ...] = ("repro/algorithms/", "repro/core/")
+
+#: Attribute names that return a block-charged edge iterator; wrapping one
+#: in a materializer is an O(E) memory-model breach.
+SCAN_METHOD_NAMES: Tuple[str, ...] = ("scan", "scan_blocks", "scan_columns")
+
+
+@dataclass(frozen=True)
+class RawViolation:
+    """A rule hit before the engine attaches the file path / waivers."""
+
+    code: str
+    line: int
+    column: int
+    message: str
+
+
+class Rule:
+    """Base class: one ``SEX`` code, a scope predicate, and a checker."""
+
+    #: Rule code, ``SEX`` + three digits (family encoded in the hundreds).
+    code: str = ""
+    #: Short human name (kebab-case, stable; used in docs and ``--list-rules``).
+    name: str = ""
+    #: One-line description of what the rule enforces and why.
+    summary: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule runs against the file at ``relpath``."""
+        return True
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def violation(self, node: ast.AST, message: str) -> RawViolation:
+        """Build a :class:`RawViolation` anchored at ``node``."""
+        return RawViolation(
+            code=self.code,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def in_storage_layer(relpath: str) -> bool:
+    """Whether raw file primitives are legal at ``relpath``."""
+    return relpath.startswith(STORAGE_LAYER_PREFIXES) or relpath in STORAGE_LAYER_FILES
+
+
+def in_algorithm_core(relpath: str) -> bool:
+    """Whether ``relpath`` is part of the semi-external algorithm core."""
+    return relpath.startswith(ALGORITHM_PATH_PREFIXES)
+
+
+#: Registry of checkable rules, keyed by code (populated by ``register``).
+RULES: Dict[str, Rule] = {}
+
+#: Codes the engine itself emits (waiver hygiene + parse failures); they
+#: participate in waiver validation but have no AST checker.
+META_CODES: Dict[str, str] = {
+    "SEX001": "waiver has an empty or malformed reason/code list",
+    "SEX002": "waiver names a rule code that does not exist",
+    "SEX003": "waiver suppresses nothing (stale waiver)",
+    "SEX004": "file could not be parsed as Python",
+}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by its code."""
+    rule = rule_class()
+    if not rule.code or not rule.name:
+        raise ValueError(f"rule {rule_class.__name__} must define code and name")
+    if rule.code in RULES or rule.code in META_CODES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return rule_class
+
+
+def known_codes() -> Tuple[str, ...]:
+    """Every valid code a waiver may name, sorted."""
+    return tuple(sorted(set(RULES) | set(META_CODES)))
+
+
+def call_name(node: ast.Call) -> str:
+    """The called name for ``name(...)`` calls, else ``""``."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def attribute_call(node: ast.Call) -> Tuple[str, str]:
+    """``(base, attr)`` for ``base.attr(...)`` calls with a Name base.
+
+    Returns ``("", attr)`` when the base is a more complex expression and
+    ``("", "")`` when the call is not an attribute call at all.
+    """
+    if not isinstance(node.func, ast.Attribute):
+        return "", ""
+    base = node.func.value
+    if isinstance(base, ast.Name):
+        return base.id, node.func.attr
+    return "", node.func.attr
+
+
+def walk_calls(module: ast.Module) -> Iterator[ast.Call]:
+    """Every :class:`ast.Call` in the module, in document order."""
+    for node in ast.walk(module):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+ScopePredicate = Callable[[str], bool]

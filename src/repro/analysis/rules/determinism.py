@@ -1,0 +1,163 @@
+"""SEX3xx — determinism.
+
+The reproduction's contract is that a run is a pure function of
+``(graph, algorithm, memory budget, seed)``: the differential suite
+replays fault schedules, the CI matrix pins seeds, and the paper's I/O
+counts are asserted exactly.  Unseeded randomness, wall-clock branches
+and iteration over unordered containers in tree-building paths all break
+replay in ways a unit test only catches intermittently — so the checker
+bans the syntactic forms outright and demands a waiver where wall-clock
+use is genuinely observational (timing metrics, deadlines).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .base import RawViolation, Rule, in_algorithm_core, register
+
+#: ``random`` module functions that draw from the shared, unseeded global
+#: generator (seeding the global via ``random.seed`` is still shared
+#: mutable state across call sites, so it is listed too).
+_GLOBAL_RANDOM_FUNCTIONS: Tuple[str, ...] = (
+    "random", "randint", "randrange", "shuffle", "choice", "choices",
+    "sample", "uniform", "gauss", "betavariate", "expovariate",
+    "getrandbits", "seed",
+)
+
+#: Wall-clock sources; reading one inside the algorithm core makes
+#: behaviour time-dependent unless explicitly waived as observational.
+_TIME_FUNCTIONS: Tuple[str, ...] = (
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+)
+_DATETIME_FUNCTIONS: Tuple[str, ...] = ("now", "utcnow", "today")
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Global-generator randomness is unreplayable; require Random(seed)."""
+
+    code = "SEX301"
+    name = "det-unseeded-random"
+    summary = (
+        "module-level random.*() calls and random.Random() without a seed "
+        "draw from unseeded state; construct random.Random(seed) and pass "
+        "it down"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [alias.name for alias in node.names
+                       if alias.name in _GLOBAL_RANDOM_FUNCTIONS]
+                if bad:
+                    yield self.violation(
+                        node,
+                        f"importing {', '.join(bad)} from random binds the "
+                        "unseeded global generator; import Random and seed it",
+                    )
+                continue
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "random"):
+                continue
+            attr = node.func.attr
+            if attr in _GLOBAL_RANDOM_FUNCTIONS:
+                yield self.violation(
+                    node,
+                    f"random.{attr}() uses the unseeded global generator; "
+                    "use random.Random(seed)",
+                )
+            elif attr == "Random" and not node.args and not node.keywords:
+                yield self.violation(
+                    node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads in the algorithm core are suspect by default."""
+
+    code = "SEX302"
+    name = "det-wall-clock-in-core"
+    summary = (
+        "time.*/datetime.now() inside repro/algorithms/ or repro/core/ "
+        "makes behaviour time-dependent; waive only observational uses "
+        "(metrics, deadlines that abort rather than alter results)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return in_algorithm_core(relpath)
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            base = node.func.value
+            base_name = base.id if isinstance(base, ast.Name) else ""
+            if base_name == "time" and attr in _TIME_FUNCTIONS:
+                yield self.violation(
+                    node,
+                    f"time.{attr}() in the algorithm core; tree "
+                    "construction must not depend on wall-clock time",
+                )
+            elif attr in _DATETIME_FUNCTIONS and (
+                base_name in ("datetime", "date")
+                or (isinstance(base, ast.Attribute)
+                    and base.attr in ("datetime", "date"))
+            ):
+                yield self.violation(
+                    node,
+                    f"datetime.{attr}() in the algorithm core; tree "
+                    "construction must not depend on wall-clock time",
+                )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Iterating a raw set feeds hash order into the DFS tree."""
+
+    code = "SEX303"
+    name = "det-unordered-iteration-in-core"
+    summary = (
+        "for-loops and comprehensions directly over set()/frozenset()/set "
+        "literals in the algorithm core iterate in hash order; sort first "
+        "so sibling order is reproducible"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return in_algorithm_core(relpath)
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                if self._is_unordered(candidate):
+                    yield self.violation(
+                        candidate,
+                        "iteration directly over an unordered set; wrap it "
+                        "in sorted(...) so downstream tree order is "
+                        "deterministic",
+                    )
+
+    @staticmethod
+    def _is_unordered(node: ast.AST) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )

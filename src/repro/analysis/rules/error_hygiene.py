@@ -1,0 +1,144 @@
+"""SEX4xx — error hygiene.
+
+The resilience layer (PR 2) communicates through a *typed* exception
+hierarchy: :class:`~repro.errors.TransientIOError` is retried,
+:class:`~repro.errors.CorruptBlockError` means damaged data,
+:class:`~repro.errors.RetriesExhausted` means the retry budget is spent.
+A bare ``except:`` or a broad ``except Exception`` anywhere in the
+library can swallow those signals — turning a detected corruption into a
+silently wrong DFS tree.  Likewise ``assert`` compiles away under
+``python -O``, so it must never carry runtime validation in ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from .base import RawViolation, Rule, register
+
+#: Exception names whose silent swallowing hides the typed hierarchy.
+_HIERARCHY_NAMES: Tuple[str, ...] = (
+    "ReproError", "StorageError", "TransientIOError", "CorruptBlockError",
+    "RetriesExhausted", "Exception", "BaseException",
+)
+
+_BROAD_NAMES: Tuple[str, ...] = ("Exception", "BaseException")
+
+
+def _exception_names(handler_type: Optional[ast.expr]) -> List[str]:
+    """Flatten a handler's exception expression into dotted-name tails."""
+    if handler_type is None:
+        return []
+    nodes: List[ast.expr] = (
+        list(handler_type.elts) if isinstance(handler_type, ast.Tuple)
+        else [handler_type]
+    )
+    names: List[str] = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+@register
+class BareExceptRule(Rule):
+    """``except:`` catches everything, including KeyboardInterrupt."""
+
+    code = "SEX401"
+    name = "err-bare-except"
+    summary = (
+        "bare except: swallows every exception including the typed "
+        "CorruptBlockError/RetriesExhausted signals; name the exceptions"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    node,
+                    "bare except: catches the whole typed error hierarchy "
+                    "(and KeyboardInterrupt); catch specific repro.errors "
+                    "types",
+                )
+
+
+@register
+class BroadExceptRule(Rule):
+    """``except Exception`` hides which failure domain actually fired."""
+
+    code = "SEX402"
+    name = "err-broad-except"
+    summary = (
+        "except Exception/BaseException can absorb CorruptBlockError and "
+        "RetriesExhausted; catch the narrow repro.errors types (waive only "
+        "at true process boundaries)"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = [name for name in _exception_names(node.type)
+                     if name in _BROAD_NAMES]
+            for name in broad:
+                yield self.violation(
+                    node,
+                    f"except {name} is broad enough to swallow the typed "
+                    "storage errors; catch specific repro.errors types",
+                )
+
+
+@register
+class AssertForValidationRule(Rule):
+    """``assert`` vanishes under ``-O``; raise typed errors instead."""
+
+    code = "SEX403"
+    name = "err-assert-in-src"
+    summary = (
+        "assert statements in src/ disappear under python -O, so they "
+        "cannot carry runtime validation; raise a repro.errors type"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.Assert):
+                yield self.violation(
+                    node,
+                    "assert used for runtime validation; raise "
+                    "InvalidGraphError/StorageError/... so the check "
+                    "survives python -O",
+                )
+
+
+@register
+class SilentSwallowRule(Rule):
+    """``except ReproError: pass`` erases a typed failure signal."""
+
+    code = "SEX404"
+    name = "err-silent-swallow"
+    summary = (
+        "an except block that catches the repro hierarchy (or broader) "
+        "and only passes destroys the failure signal the resilience layer "
+        "worked to produce"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is not None and not any(
+                name in _HIERARCHY_NAMES
+                for name in _exception_names(node.type)
+            ):
+                continue
+            body_is_pass = len(node.body) == 1 and isinstance(node.body[0], ast.Pass)
+            if body_is_pass:
+                caught = ", ".join(_exception_names(node.type)) or "everything"
+                yield self.violation(
+                    node,
+                    f"except ({caught}) with a bare pass silently swallows "
+                    "the typed error hierarchy; handle, log, or re-raise",
+                )

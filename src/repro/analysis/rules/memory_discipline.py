@@ -1,0 +1,124 @@
+"""SEX2xx — semi-external memory discipline.
+
+The model's defining constraint (paper §2): memory holds only ``k·|V|``
+elements — the spanning tree plus O(1) per-node state — while the edge
+set stays on disk and is consumed *streaming*, one block at a time.
+Wrapping an edge scan in ``list()`` (or building any O(E) structure from
+one) silently re-admits the whole edge set into memory: the run still
+produces a correct tree and still reports paper-perfect I/O counts, but
+the claimed memory bound is fiction.  These rules catch the
+materialization patterns syntactically in the algorithm core and steer
+them to the external-memory primitives (``ExternalStack``,
+``sort_edge_file``, streaming scans).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .base import (
+    SCAN_METHOD_NAMES,
+    RawViolation,
+    Rule,
+    in_algorithm_core,
+    register,
+)
+
+#: Builtins that drain an iterator into an O(E) in-memory structure.
+_MATERIALIZERS: Tuple[str, ...] = (
+    "list", "tuple", "set", "frozenset", "sorted", "dict",
+)
+
+
+def _is_scan_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``<expr>.scan*()`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in SCAN_METHOD_NAMES
+    )
+
+
+class _CoreScopedRule(Rule):
+    """Shared scope: the semi-external algorithm core only."""
+
+    def applies_to(self, relpath: str) -> bool:
+        return in_algorithm_core(relpath)
+
+
+@register
+class MaterializedScanRule(_CoreScopedRule):
+    """``list(edge_file.scan())`` pulls the whole edge set into memory."""
+
+    code = "SEX201"
+    name = "mem-materialized-edge-scan"
+    summary = (
+        "wrapping an edge scan in list/sorted/set/dict/... builds an O(E) "
+        "in-memory structure; stream the scan or use "
+        "external_sort/ExternalStack"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _MATERIALIZERS):
+                continue
+            if any(_is_scan_call(arg) for arg in node.args):
+                scan = next(arg for arg in node.args if _is_scan_call(arg))
+                attr = scan.func.attr if isinstance(scan.func, ast.Attribute) else "scan"
+                yield self.violation(
+                    node,
+                    f"{node.func.id}(...{attr}()) materializes a full edge "
+                    "scan in memory, breaking the k*|V| bound; stream it or "
+                    "use repro.storage.sort_edge_file / ExternalStack",
+                )
+
+
+@register
+class ComprehensionOverScanRule(_CoreScopedRule):
+    """A non-generator comprehension over a scan is the same O(E) breach."""
+
+    code = "SEX202"
+    name = "mem-comprehension-over-edge-scan"
+    summary = (
+        "list/set/dict comprehensions over an edge scan accumulate O(E) "
+        "elements; a generator expression (lazy) is fine"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if not isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                continue
+            if any(_is_scan_call(gen.iter) for gen in node.generators):
+                kind = type(node).__name__.replace("Comp", "").lower()
+                yield self.violation(
+                    node,
+                    f"{kind} comprehension over an edge scan accumulates "
+                    "O(E) elements in memory; iterate the scan streaming or "
+                    "use a generator expression",
+                )
+
+
+@register
+class ReadAllRule(_CoreScopedRule):
+    """``EdgeFile.read_all()`` is an explicit whole-file materializer."""
+
+    code = "SEX203"
+    name = "mem-edge-file-read-all"
+    summary = (
+        "EdgeFile.read_all() loads the entire edge file; the algorithm "
+        "core must consume scans block-by-block"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "read_all"):
+                yield self.violation(
+                    node,
+                    ".read_all() loads the whole edge file into memory; "
+                    "scan it block-by-block instead",
+                )

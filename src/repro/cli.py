@@ -153,6 +153,7 @@ def _command_dfs(args: argparse.Namespace) -> int:
             if not report.ok:
                 return 1
         if args.output:
+            # repro: allow[SEX101] user-facing result text, not modelled block I/O
             with open(args.output, "w", encoding="utf-8") as handle:
                 for node in result.order:
                     handle.write(f"{node}\n")
@@ -202,6 +203,7 @@ def _command_toposort(args: argparse.Namespace) -> int:
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         order = topological_order(graph, memory, algorithm=args.algorithm)
         if args.output:
+            # repro: allow[SEX101] user-facing result text, not modelled block I/O
             with open(args.output, "w", encoding="utf-8") as handle:
                 for node in order:
                     handle.write(f"{node}\n")

@@ -22,7 +22,7 @@ this); for classification *during* mutation use :mod:`repro.core.order`.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from .tree import SpanningTree
 
@@ -61,7 +61,7 @@ class IntervalIndex:
         first_child = tree.first_child
         next_sibling = tree.next_sibling
         root = tree.root
-        order: list = []
+        order: List[int] = []
         append = order.append
         stack = [root]
         stack_pop = stack.pop

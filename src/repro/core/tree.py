@@ -20,7 +20,7 @@ tree nodes flagged virtual; they are allocated by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import InvalidGraphError
 
@@ -321,7 +321,7 @@ class SpanningTree:
             current = self.parent[current]
         return depth
 
-    def tree_edges(self) -> Iterator[tuple]:
+    def tree_edges(self) -> Iterator[Tuple[int, int]]:
         """All ``(parent, child)`` tree edges reachable from the root."""
         for node in self.preorder():
             parent = self.parent[node]

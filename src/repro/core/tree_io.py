@@ -17,7 +17,7 @@ reproduces the sibling order exactly.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from ..errors import StorageError
 from ..storage.block_device import BlockDevice
@@ -56,6 +56,7 @@ def save_tree(
 
     path = device.allocate_path(name, suffix=".tree")
     block_values = device.block_elements
+    # repro: allow[SEX101] checkpoint frames flow through device.write_block, so every block IS charged
     with open(path, "wb") as handle:
         for start in range(0, len(values), block_values):
             device.write_block(
@@ -73,7 +74,8 @@ def load_tree(device: BlockDevice, path: str) -> SpanningTree:
             :class:`~repro.errors.CorruptBlockError`) a block whose
             checksum no longer matches.
     """
-    values = []
+    values: List[int] = []
+    # repro: allow[SEX101] checkpoint frames flow through device.read_block, so every block IS charged
     with open(path, "rb") as handle:
         while True:
             chunk = device.read_block(handle, context=path)

@@ -13,21 +13,24 @@ convenience wrappers over the default-resolved backend; performance-
 sensitive callers hold a kernel instance (``BlockDevice.kernel``) instead.
 """
 
+from typing import Any, Tuple
+
 from .base import (
     KERNEL_ENV_VAR,
     KERNEL_NAMES,
+    Kernel,
     available_backends,
     numpy_available,
     resolve_kernel,
 )
 
 
-def unpack_edge_columns(data: bytes):
+def unpack_edge_columns(data: bytes) -> Tuple[Any, Any]:
     """Split packed edge bytes into ``(u, v)`` columns (default backend)."""
     return resolve_kernel().unpack_edge_columns(data)
 
 
-def pack_edge_columns(u_col, v_col) -> bytes:
+def pack_edge_columns(u_col: Any, v_col: Any) -> bytes:
     """Interleave ``(u, v)`` columns into edge bytes (default backend)."""
     return resolve_kernel().pack_edge_columns(u_col, v_col)
 
@@ -35,6 +38,7 @@ def pack_edge_columns(u_col, v_col) -> bytes:
 __all__ = [
     "KERNEL_ENV_VAR",
     "KERNEL_NAMES",
+    "Kernel",
     "available_backends",
     "numpy_available",
     "pack_edge_columns",

@@ -20,9 +20,12 @@ identical classification decisions, identical I/O accounting.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Protocol, Tuple
 
 from ..errors import ReproError
+
+if TYPE_CHECKING:
+    from ..core.tree import SpanningTree
 
 #: Environment variable consulted when no explicit backend is requested.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
@@ -37,10 +40,44 @@ KERNEL_NAMES = ("auto", "python", "numpy")
 #: forward-/backward-cross pairs (python ints, in scan order).
 ClassifiedSlice = Tuple[int, int, bool, List[Tuple[int, int]]]
 
-_kernels: Dict[str, object] = {}
+
+class Kernel(Protocol):
+    """Structural interface every backend satisfies.
+
+    Column and index types are backend-specific (stdlib ``array`` vs.
+    numpy ``ndarray``; dict index vs. dense arrays), so they surface as
+    ``Any`` here — the cross-backend contract is the *shape* of the
+    operations and the :data:`ClassifiedSlice` result, which the
+    differential tests pin bit-for-bit.
+    """
+
+    name: str
+    vectorized: bool
+
+    def unpack_edge_columns(self, data: bytes) -> Tuple[Any, Any]:
+        """Split packed edge bytes into ``(u, v)`` int32 columns."""
+
+    def pack_edge_columns(self, u_col: Any, v_col: Any) -> bytes:
+        """Interleave two int32 columns back into on-disk edge bytes."""
+
+    def make_index(self, tree: "SpanningTree") -> Optional[Any]:
+        """Build a classifier index, or ``None`` to decline the tree."""
+
+    def classify_slice(
+        self,
+        index: Any,
+        u_col: Any,
+        v_col: Any,
+        start: int,
+        capacity: int,
+    ) -> ClassifiedSlice:
+        """Classify ``(u_col, v_col)[start:]`` until ``capacity`` edges load."""
 
 
-def _python_kernel():
+_kernels: Dict[str, Kernel] = {}
+
+
+def _python_kernel() -> Kernel:
     if "python" not in _kernels:
         from .python_kernel import PythonKernel
 
@@ -48,7 +85,7 @@ def _python_kernel():
     return _kernels["python"]
 
 
-def _numpy_kernel():
+def _numpy_kernel() -> Kernel:
     if "numpy" not in _kernels:
         from .numpy_kernel import NumpyKernel  # raises ImportError w/o numpy
 
@@ -73,7 +110,7 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(names)
 
 
-def resolve_kernel(name: Optional[str] = None):
+def resolve_kernel(name: Optional[str] = None) -> Kernel:
     """Resolve a backend name (or ``None``) to a kernel instance.
 
     ``None`` falls back to ``$REPRO_KERNEL``, then ``auto``.  ``auto``

@@ -11,9 +11,10 @@ unavailable".
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.classify import IntervalIndex
 from ..core.tree import SpanningTree
@@ -41,14 +42,19 @@ class DenseIntervalIndex:
     __slots__ = ("pre", "size", "parent")
 
     def __init__(
-        self, pre: np.ndarray, size: np.ndarray, parent: np.ndarray
+        self,
+        pre: "npt.NDArray[np.int64]",
+        size: "npt.NDArray[np.int64]",
+        parent: "npt.NDArray[np.int64]",
     ) -> None:
-        self.pre = pre
-        self.size = size
-        self.parent = parent
+        self.pre: "npt.NDArray[np.int64]" = pre
+        self.size: "npt.NDArray[np.int64]" = size
+        self.parent: "npt.NDArray[np.int64]" = parent
 
 
-def _dense_column(keyed: dict, length: int, missing: int) -> np.ndarray:
+def _dense_column(
+    keyed: Mapping[int, Optional[int]], length: int, missing: int
+) -> "npt.NDArray[np.int64]":
     column = np.full(length, missing, dtype=np.int64)
     if keyed:
         keys = np.fromiter(keyed.keys(), dtype=np.int64, count=len(keyed))
@@ -68,7 +74,9 @@ class NumpyKernel:
     vectorized = True
 
     # -- codecs --------------------------------------------------------
-    def unpack_edge_columns(self, data: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    def unpack_edge_columns(
+        self, data: bytes
+    ) -> Tuple["npt.NDArray[np.int32]", "npt.NDArray[np.int32]"]:
         """Split packed edge bytes into ``(u, v)`` int32 column views."""
         if len(data) % EDGE_BYTES:
             raise ValueError(
@@ -78,7 +86,9 @@ class NumpyKernel:
         flat = np.frombuffer(data, dtype=_EDGE_DTYPE)
         return flat[0::2], flat[1::2]
 
-    def pack_edge_columns(self, u_col, v_col) -> bytes:
+    def pack_edge_columns(
+        self, u_col: "npt.ArrayLike", v_col: "npt.ArrayLike"
+    ) -> bytes:
         """Interleave two int32 columns back into on-disk edge bytes.
 
         Raises:
@@ -96,7 +106,7 @@ class NumpyKernel:
         return flat.tobytes()
 
     @staticmethod
-    def _as_int32(column) -> np.ndarray:
+    def _as_int32(column: "npt.ArrayLike") -> "npt.NDArray[np.int32]":
         arr = np.asarray(column)
         if arr.ndim != 1:
             raise ValueError("edge columns must be one-dimensional")
@@ -136,8 +146,8 @@ class NumpyKernel:
     def classify_slice(
         self,
         index: DenseIntervalIndex,
-        u_col: np.ndarray,
-        v_col: np.ndarray,
+        u_col: "npt.NDArray[np.int32]",
+        v_col: "npt.NDArray[np.int32]",
         start: int,
         capacity: int,
     ) -> ClassifiedSlice:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import sys
 from array import array
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union, cast
 
 from ..core.classify import IntervalIndex
 from ..core.tree import SpanningTree
@@ -35,9 +35,9 @@ class _DictIndexClassifier:
 
     def __init__(self, tree: SpanningTree) -> None:
         index = IntervalIndex(tree)
-        self.pre = index.pre
-        self.size = index.size
-        self.parent = tree.parent
+        self.pre: Dict[int, int] = index.pre
+        self.size: Dict[int, int] = index.size
+        self.parent: Dict[int, Optional[int]] = tree.parent
 
 
 class PythonKernel:
@@ -47,7 +47,9 @@ class PythonKernel:
     vectorized = False
 
     # -- codecs --------------------------------------------------------
-    def unpack_edge_columns(self, data: bytes) -> Tuple[array, array]:
+    def unpack_edge_columns(
+        self, data: bytes
+    ) -> Tuple["array[int]", "array[int]"]:
         """Split packed edge bytes into ``(u, v)`` int32 columns."""
         if len(data) % EDGE_BYTES:
             raise ValueError(
@@ -60,7 +62,11 @@ class PythonKernel:
             flat.byteswap()
         return flat[0::2], flat[1::2]
 
-    def pack_edge_columns(self, u_col, v_col) -> bytes:
+    def pack_edge_columns(
+        self,
+        u_col: Union["array[int]", Sequence[int]],
+        v_col: Union["array[int]", Sequence[int]],
+    ) -> bytes:
         """Interleave two int32 columns back into on-disk edge bytes.
 
         Raises:
@@ -71,8 +77,16 @@ class PythonKernel:
                 f"column length mismatch: {len(u_col)} vs {len(v_col)}"
             )
         try:
-            us = u_col if _is_i32_array(u_col) else array(_TYPECODE, u_col)
-            vs = v_col if _is_i32_array(v_col) else array(_TYPECODE, v_col)
+            us = (
+                cast("array[int]", u_col)
+                if _is_i32_array(u_col)
+                else array(_TYPECODE, u_col)
+            )
+            vs = (
+                cast("array[int]", v_col)
+                if _is_i32_array(v_col)
+                else array(_TYPECODE, v_col)
+            )
         except OverflowError:
             raise ValueError("edge endpoint out of int32 range") from None
         flat = array(_TYPECODE, bytes(len(us) * EDGE_BYTES))
@@ -90,8 +104,8 @@ class PythonKernel:
     def classify_slice(
         self,
         index: _DictIndexClassifier,
-        u_col,
-        v_col,
+        u_col: Sequence[int],
+        v_col: Sequence[int],
         start: int,
         capacity: int,
     ) -> ClassifiedSlice:
@@ -129,5 +143,5 @@ class PythonKernel:
         return stop, counted, has_forward_cross, cross
 
 
-def _is_i32_array(column) -> bool:
+def _is_i32_array(column: object) -> bool:
     return isinstance(column, array) and column.typecode == _TYPECODE

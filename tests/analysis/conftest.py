@@ -1,0 +1,24 @@
+"""Shared helpers for the conformance-checker tests.
+
+``check(source, path)`` runs the full engine (rules + waivers) over an
+in-memory snippet under a virtual ``repro/...`` path, so each test reads
+as *"this snippet at this location yields exactly these codes"*.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List
+
+import pytest
+
+from repro.analysis import analyze_source
+
+
+@pytest.fixture
+def check():
+    def _check(source: str, path: str = "repro/algorithms/snippet.py") -> List[str]:
+        violations = analyze_source(textwrap.dedent(source), path)
+        return [violation.code for violation in violations]
+
+    return _check

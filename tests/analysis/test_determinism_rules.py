@@ -1,0 +1,99 @@
+"""SEX3xx (determinism): positive and negative fixture cases."""
+
+from __future__ import annotations
+
+
+class TestUnseededRandom:
+    def test_module_level_random_flagged(self, check):
+        assert check("import random\nx = random.random()\n") == ["SEX301"]
+
+    def test_module_level_shuffle_flagged(self, check):
+        assert check("import random\nrandom.shuffle(items)\n") == ["SEX301"]
+
+    def test_global_seed_flagged(self, check):
+        # Seeding the *global* generator is shared mutable state.
+        assert check("import random\nrandom.seed(7)\n") == ["SEX301"]
+
+    def test_unseeded_random_instance_flagged(self, check):
+        assert check("import random\nrng = random.Random()\n") == ["SEX301"]
+
+    def test_seeded_random_instance_ok(self, check):
+        assert check("import random\nrng = random.Random(42)\n") == []
+
+    def test_instance_methods_ok(self, check):
+        source = """\
+        import random
+        rng = random.Random(7)
+        value = rng.random()
+        rng.shuffle(items)
+        """
+        assert check(source) == []
+
+    def test_from_import_of_global_function_flagged(self, check):
+        assert check("from random import shuffle\n") == ["SEX301"]
+
+    def test_from_import_of_random_class_ok(self, check):
+        assert check("from random import Random\nrng = Random(3)\n") == []
+
+    def test_applies_everywhere_in_package(self, check):
+        assert check("import random\nx = random.random()\n",
+                     path="repro/graph/generators.py") == ["SEX301"]
+
+
+class TestWallClock:
+    def test_time_time_flagged_in_core(self, check):
+        assert check("import time\nt = time.time()\n",
+                     path="repro/core/order.py") == ["SEX302"]
+
+    def test_perf_counter_flagged_in_algorithms(self, check):
+        assert check("import time\nt = time.perf_counter()\n") == ["SEX302"]
+
+    def test_datetime_now_flagged(self, check):
+        assert check(
+            "import datetime\nstamp = datetime.datetime.now()\n"
+        ) == ["SEX302"]
+
+    def test_time_allowed_outside_core(self, check):
+        source = "import time\nt = time.perf_counter()\n"
+        assert check(source, path="repro/bench/harness.py") == []
+        assert check(source, path="repro/storage/block_device.py") == []
+
+    def test_time_sleep_not_flagged(self, check):
+        # Sleeping changes pacing, not results (backoff uses it).
+        assert check("import time\ntime.sleep(0.1)\n") == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_call_flagged(self, check):
+        source = """\
+        for node in set(nodes):
+            visit(node)
+        """
+        assert check(source) == ["SEX303"]
+
+    def test_for_over_set_literal_flagged(self, check):
+        source = """\
+        for node in {1, 2, 3}:
+            visit(node)
+        """
+        assert check(source) == ["SEX303"]
+
+    def test_comprehension_over_set_call_flagged(self, check):
+        assert check("order = [n for n in set(nodes)]\n") == ["SEX303"]
+
+    def test_sorted_set_ok(self, check):
+        source = """\
+        for node in sorted(set(nodes)):
+            visit(node)
+        """
+        assert check(source) == []
+
+    def test_building_a_set_ok(self, check):
+        assert check("seen = set()\nseen.add(1)\n") == []
+
+    def test_scoped_to_algorithm_core(self, check):
+        source = """\
+        for node in set(nodes):
+            visit(node)
+        """
+        assert check(source, path="repro/apps/components.py") == []

@@ -1,0 +1,122 @@
+"""SEX4xx (error hygiene): positive and negative fixture cases."""
+
+from __future__ import annotations
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self, check):
+        source = """\
+        try:
+            work()
+        except:
+            raise
+        """
+        assert check(source) == ["SEX401"]
+
+    def test_typed_except_ok(self, check):
+        source = """\
+        try:
+            work()
+        except CorruptBlockError:
+            recover()
+        """
+        assert check(source) == []
+
+
+class TestBroadExcept:
+    def test_except_exception_flagged(self, check):
+        source = """\
+        try:
+            work()
+        except Exception:
+            handle()
+        """
+        assert check(source) == ["SEX402"]
+
+    def test_except_base_exception_flagged(self, check):
+        source = """\
+        try:
+            work()
+        except BaseException as error:
+            handle(error)
+        """
+        assert check(source) == ["SEX402"]
+
+    def test_exception_inside_tuple_flagged(self, check):
+        source = """\
+        try:
+            work()
+        except (ValueError, Exception):
+            handle()
+        """
+        assert check(source) == ["SEX402"]
+
+    def test_narrow_tuple_ok(self, check):
+        source = """\
+        try:
+            work()
+        except (TransientIOError, OSError) as error:
+            retry(error)
+        """
+        assert check(source) == []
+
+
+class TestAssert:
+    def test_assert_flagged_anywhere_in_src(self, check):
+        assert check("assert x > 0, 'bad'\n",
+                     path="repro/apps/euler.py") == ["SEX403"]
+
+    def test_no_assert_no_finding(self, check):
+        source = """\
+        if x <= 0:
+            raise InvalidGraphError('bad')
+        """
+        assert check(source) == []
+
+
+class TestSilentSwallow:
+    def test_swallowed_repro_error_flagged(self, check):
+        source = """\
+        try:
+            work()
+        except ReproError:
+            pass
+        """
+        assert check(source) == ["SEX404"]
+
+    def test_swallowed_storage_error_flagged(self, check):
+        source = """\
+        try:
+            work()
+        except (StorageError, ValueError):
+            pass
+        """
+        assert check(source) == ["SEX404"]
+
+    def test_swallowed_exception_flagged_with_broad(self, check):
+        source = """\
+        try:
+            work()
+        except Exception:
+            pass
+        """
+        assert sorted(check(source)) == ["SEX402", "SEX404"]
+
+    def test_narrow_builtin_swallow_ok(self, check):
+        # except FileNotFoundError: pass is idempotent-delete idiom.
+        source = """\
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+        """
+        assert check(source) == []
+
+    def test_handled_repro_error_ok(self, check):
+        source = """\
+        try:
+            work()
+        except ReproError as error:
+            log(error)
+        """
+        assert check(source) == []

@@ -1,0 +1,75 @@
+"""SEX1xx (I/O containment): positive and negative fixture cases."""
+
+from __future__ import annotations
+
+
+class TestBuiltinOpen:
+    def test_open_flagged_outside_storage(self, check):
+        assert check("handle = open('x.bin', 'rb')\n") == ["SEX101"]
+
+    def test_open_allowed_in_storage_layer(self, check):
+        source = "handle = open('x.bin', 'rb')\n"
+        assert check(source, path="repro/storage/edge_file.py") == []
+        assert check(source, path="repro/storage/nested/blob.py") == []
+
+    def test_open_allowed_in_graph_text_codec(self, check):
+        assert check("handle = open('x.txt')\n", path="repro/graph/io.py") == []
+
+    def test_open_flagged_elsewhere_in_graph_package(self, check):
+        assert check("handle = open('x.txt')\n",
+                     path="repro/graph/datasets.py") == ["SEX101"]
+
+    def test_open_as_method_name_not_flagged_by_sex101(self, check):
+        # device.open() is SEX104 territory, not the builtin rule's.
+        codes = check("device.open()\n")
+        assert "SEX101" not in codes
+
+    def test_scoping_uses_last_repro_component(self, check):
+        # A fixture tree under /tmp/whatever/repro/... scopes like the package.
+        source = "handle = open('x.bin', 'rb')\n"
+        assert check(source, path="/tmp/tree/repro/storage/x.py") == []
+        assert check(source, path="/tmp/tree/repro/apps/x.py") == ["SEX101"]
+
+
+class TestLowLevelOs:
+    def test_os_read_flagged(self, check):
+        assert check("import os\ndata = os.read(3, 42)\n") == ["SEX102"]
+
+    def test_io_open_flagged(self, check):
+        assert check("import io\nhandle = io.open('x')\n") == ["SEX102"]
+
+    def test_os_path_helpers_not_flagged(self, check):
+        assert check("import os\npath = os.path.join('a', 'b')\n") == []
+
+    def test_os_remove_not_flagged(self, check):
+        # Deleting a file is lifecycle management, not a block transfer.
+        assert check("import os\nos.remove('x.bin')\n") == []
+
+
+class TestMmap:
+    def test_import_mmap_flagged(self, check):
+        assert check("import mmap\n") == ["SEX103"]
+
+    def test_from_mmap_import_flagged(self, check):
+        assert check("from mmap import mmap\n") == ["SEX103"]
+
+    def test_mmap_allowed_in_storage(self, check):
+        assert check("import mmap\n", path="repro/storage/fancy.py") == []
+
+
+class TestAttributeIo:
+    def test_pathlib_read_bytes_flagged(self, check):
+        assert check("data = target.read_bytes()\n") == ["SEX104"]
+
+    def test_pathlib_write_text_flagged(self, check):
+        assert check("target.write_text('hi')\n") == ["SEX104"]
+
+    def test_attribute_open_flagged(self, check):
+        assert check("handle = target.open('rb')\n") == ["SEX104"]
+
+    def test_os_open_not_double_flagged_as_sex104(self, check):
+        codes = check("import os\nfd = os.open('x', 0)\n")
+        assert codes == ["SEX102"]
+
+    def test_unrelated_attribute_not_flagged(self, check):
+        assert check("edges = graph.scan_blocks()\n") == []

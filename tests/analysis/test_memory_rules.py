@@ -1,0 +1,65 @@
+"""SEX2xx (memory discipline): positive and negative fixture cases."""
+
+from __future__ import annotations
+
+
+class TestMaterializedScan:
+    def test_list_of_scan_flagged(self, check):
+        assert check("edges = list(edge_file.scan())\n") == ["SEX201"]
+
+    def test_sorted_scan_flagged(self, check):
+        assert check("edges = sorted(edge_file.scan())\n") == ["SEX201"]
+
+    def test_dict_of_scan_flagged(self, check):
+        assert check("adj = dict(edge_file.scan())\n") == ["SEX201"]
+
+    def test_materializing_scan_columns_flagged(self, check):
+        assert check("cols = list(edge_file.scan_columns())\n") == ["SEX201"]
+
+    def test_streaming_scan_not_flagged(self, check):
+        source = """\
+        for u, v in edge_file.scan():
+            process(u, v)
+        """
+        assert check(source) == []
+
+    def test_list_of_other_iterable_not_flagged(self, check):
+        assert check("items = list(tree.preorder())\n") == []
+
+    def test_rule_scoped_to_algorithm_core(self, check):
+        source = "edges = list(edge_file.scan())\n"
+        assert check(source, path="repro/core/validation.py") == ["SEX201"]
+        # bench and apps stream by convention but are outside the gate.
+        assert check(source, path="repro/bench/harness.py") == []
+
+    def test_generator_argument_not_flagged(self, check):
+        source = "unique = set(u for u, _ in pairs)\n"
+        assert check(source) == []
+
+
+class TestComprehensionOverScan:
+    def test_list_comprehension_flagged(self, check):
+        assert check("targets = [v for _, v in edge_file.scan()]\n") == ["SEX202"]
+
+    def test_dict_comprehension_flagged(self, check):
+        assert check("adj = {u: v for u, v in edge_file.scan()}\n") == ["SEX202"]
+
+    def test_set_comprehension_flagged(self, check):
+        assert check("seen = {u for u, _ in edge_file.scan_blocks()}\n") == ["SEX202"]
+
+    def test_generator_expression_not_flagged(self, check):
+        # Lazy: feeds a streaming consumer without materializing.
+        assert check("writer.extend((v, u) for u, v in edge_file.scan())\n") == []
+
+    def test_comprehension_over_plain_iterable_not_flagged(self, check):
+        assert check("doubled = [2 * x for x in values]\n") == []
+
+
+class TestReadAll:
+    def test_read_all_flagged_in_core(self, check):
+        assert check("edges = edge_file.read_all()\n") == ["SEX203"]
+
+    def test_read_all_allowed_outside_core(self, check):
+        source = "edges = edge_file.read_all()\n"
+        assert check(source, path="repro/bench/experiments.py") == []
+        assert check(source, path="repro/storage/edge_file.py") == []

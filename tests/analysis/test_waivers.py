@@ -1,0 +1,121 @@
+"""Waiver parsing and the SEX001/002/003 hygiene meta-rules."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_source, extract_waivers
+
+
+class TestParsing:
+    def test_single_code_with_reason(self):
+        waivers = extract_waivers(
+            "x = open('f')  # repro: allow[SEX101] result file\n"
+        )
+        assert len(waivers) == 1
+        waiver = waivers[0]
+        assert waiver.codes == ("SEX101",)
+        assert waiver.reason == "result file"
+        assert waiver.active
+
+    def test_multiple_codes(self):
+        waivers = extract_waivers(
+            "# repro: allow[SEX101, SEX104] text report output\n"
+        )
+        assert waivers[0].codes == ("SEX101", "SEX104")
+
+    def test_missing_reason_is_inactive(self):
+        waivers = extract_waivers("# repro: allow[SEX101]\n")
+        assert len(waivers) == 1
+        assert not waivers[0].active
+
+    def test_malformed_bracket_detected(self):
+        waivers = extract_waivers("# repro: allow SEX101 because\n")
+        assert len(waivers) == 1
+        assert waivers[0].malformed
+
+    def test_bad_code_shape_is_malformed(self):
+        waivers = extract_waivers("# repro: allow[SEX1] why\n")
+        assert waivers[0].malformed
+
+    def test_waiver_in_string_literal_ignored(self):
+        waivers = extract_waivers(
+            "text = '# repro: allow[SEX101] not a comment'\n"
+        )
+        assert waivers == []
+
+    def test_unrelated_comments_ignored(self):
+        assert extract_waivers("# just a note\nx = 1  # inline\n") == []
+
+
+class TestSuppression:
+    def test_same_line_waiver_suppresses(self, check):
+        source = "h = open('f')  # repro: allow[SEX101] result file, not block IO\n"
+        assert check(source) == []
+
+    def test_preceding_line_waiver_suppresses(self, check):
+        source = (
+            "# repro: allow[SEX101] result file, not block IO\n"
+            "h = open('f')\n"
+        )
+        assert check(source) == []
+
+    def test_waiver_does_not_reach_two_lines_down(self, check):
+        source = (
+            "# repro: allow[SEX101] result file\n"
+            "x = 1\n"
+            "h = open('f')\n"
+        )
+        codes = check(source)
+        assert "SEX101" in codes  # the open() is NOT covered
+        assert "SEX003" in codes  # and the waiver is stale
+
+    def test_waiver_only_covers_named_code(self, check):
+        source = "h = open('f')  # repro: allow[SEX104] wrong code\n"
+        codes = check(source)
+        assert "SEX101" in codes
+        assert "SEX003" in codes
+
+    def test_one_waiver_can_cover_two_codes(self, check):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "# repro: allow[SEX402, SEX404] boundary: last-resort handler\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert check(source) == []
+
+
+class TestHygieneMetaRules:
+    def test_empty_reason_is_sex001(self, check):
+        source = "h = open('f')  # repro: allow[SEX101]\n"
+        codes = check(source)
+        assert "SEX001" in codes
+        assert "SEX101" in codes  # the inert waiver suppresses nothing
+
+    def test_malformed_waiver_is_sex001(self, check):
+        assert "SEX001" in check("# repro: allow[not-a-code] reason\n")
+
+    def test_unknown_code_is_sex002(self, check):
+        assert check("# repro: allow[SEX999] reason\n") == ["SEX002"]
+
+    def test_stale_waiver_is_sex003(self, check):
+        assert check("x = 1  # repro: allow[SEX101] nothing here\n") == ["SEX003"]
+
+    def test_used_waiver_is_clean(self, check):
+        source = "h = open('f')  # repro: allow[SEX101] justified\n"
+        assert check(source) == []
+
+    def test_meta_findings_are_not_waivable(self):
+        # The hygiene meta-rules police the waivers themselves; letting a
+        # waiver silence SEX003 would make every stale waiver self-hiding.
+        source = (
+            "# repro: allow[SEX003] trying to hide staleness\n"
+            "x = 1  # repro: allow[SEX101] suppresses nothing\n"
+        )
+        codes = [v.code for v in analyze_source(source, "repro/apps/demo.py")]
+        assert codes.count("SEX003") == 2
+
+
+class TestSyntaxErrorPath:
+    def test_unparseable_file_is_sex004(self, check):
+        assert check("def broken(:\n") == ["SEX004"]
