@@ -5,17 +5,19 @@ Uses two of the library's DFS applications together with run tracing:
 
 1. articulation points and bridges find the single points of failure of
    a hub-structured network (semi-external lowpoint computation);
-2. `trace=True` exposes how Divide-TD actually carves the graph — which
-   recursion level divided, into how many parts, of what sizes.
+2. a span `Tracer` exposes how Divide-TD actually carves the graph —
+   which recursion level divided, into how many parts, of what sizes —
+   and where the block I/O went, phase by phase.
 
 Run:  python examples/network_resilience.py
 """
 
 import random
 
-from repro import BlockDevice, DiskGraph
+from repro import BlockDevice, DiskGraph, Tracer
 from repro.algorithms import divide_td_dfs
 from repro.apps import connectivity_report, weakly_connected_components
+from repro.obs import render_profile
 
 
 def backbone_network_edges(region_count: int = 24, region_size: int = 120,
@@ -77,17 +79,21 @@ def main() -> None:
                   f"and region {child // region_size}")
 
         # How does Divide-TD see this topology?
-        result = divide_td_dfs(graph, memory, trace=True)
+        tracer = Tracer()
+        result = divide_td_dfs(graph, memory, tracer=tracer)
         print(f"\nDivide-TD: {result.passes} passes, {result.divisions} "
               f"divisions, {result.io.total} block I/Os")
-        for entry in result.trace:
-            if entry["event"] == "division":
-                sizes = entry["part_sizes"]
+        for event in result.events:
+            attrs = event.attributes
+            if event.name == "divide" and "parts" in attrs:
+                sizes = attrs["part_sizes"]
                 preview = ", ".join(map(str, sizes[:6]))
                 extra = " ..." if len(sizes) > 6 else ""
-                print(f"  depth {entry['depth']}: divided {entry['nodes']} "
-                      f"nodes into {entry['parts']} parts "
+                print(f"  depth {attrs['depth']}: divided {attrs['nodes']} "
+                      f"nodes into {attrs['parts']} parts "
                       f"(sizes {preview}{extra})")
+        print()
+        print(render_profile(result.events))
 
 
 if __name__ == "__main__":

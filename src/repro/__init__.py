@@ -20,8 +20,11 @@ paper-versus-measured record of every figure.
 """
 
 from ._version import __version__
-from .api import ALGORITHMS, semi_external_dfs
+from .api import ALGORITHMS, register_algorithm, semi_external_dfs
 from .algorithms.base import DFSResult
+from .obs import NullTracer, SpanEvent, Tracer
+from .options import RunOptions
+from .registry import AlgorithmRegistry, AlgorithmSpec
 from .errors import (
     ConvergenceError,
     CorruptBlockError,
@@ -42,6 +45,8 @@ from .storage.faults import FaultPlan
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmRegistry",
+    "AlgorithmSpec",
     "BlockDevice",
     "ConvergenceError",
     "CorruptBlockError",
@@ -54,10 +59,15 @@ __all__ = [
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "NotADAGError",
+    "NullTracer",
     "ReproError",
     "RetriesExhausted",
+    "RunOptions",
+    "SpanEvent",
     "StorageError",
+    "Tracer",
     "TransientIOError",
     "__version__",
+    "register_algorithm",
     "semi_external_dfs",
 ]

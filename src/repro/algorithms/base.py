@@ -9,15 +9,21 @@ measured costs (simulated block I/Os, restructure passes, divisions).
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import MemoryBudgetExceeded
 from ..graph.disk_graph import DiskGraph
+from ..obs import NULL_TRACER, MemorySink, SpanEvent, Tracer, legacy_trace_entries
 from ..storage.buffer_pool import TREE_NODE_COST, MemoryBudget
 from ..storage.io_stats import IOSnapshot
 from ..core.tree import SpanningTree, VirtualNodeAllocator
 from ..core.validation import real_preorder
+
+#: Whether the ``DFSResult.trace`` deprecation has been announced (the
+#: property warns once per process, not once per access).
+_TRACE_DEPRECATION_WARNED = False
 
 
 @dataclass
@@ -42,8 +48,11 @@ class DFSResult:
             (``python`` or ``numpy``); benchmarks record it so a result
             is attributable to a code path.
         details: free-form per-algorithm counters.
-        trace: per-recursion-level event records (populated when the
-            algorithm is invoked with ``trace=True``).
+        events: the run's completed :class:`~repro.obs.SpanEvent` records
+            (populated when the run was given a real
+            :class:`~repro.obs.Tracer`; empty under the null tracer).
+            The deprecated :attr:`trace` property renders these in the
+            old list-of-dicts shape.
     """
 
     tree: SpanningTree
@@ -56,7 +65,26 @@ class DFSResult:
     max_depth: int = 0
     kernel: str = "python"
     details: Dict[str, int] = field(default_factory=dict)
-    trace: List[Dict[str, object]] = field(default_factory=list)
+    events: List[SpanEvent] = field(default_factory=list)
+
+    @property
+    def trace(self) -> List[Dict[str, object]]:
+        """Deprecated legacy view of :attr:`events` (list of dicts).
+
+        Renders the recorded span events in the shape the removed
+        ``RunContext.record()`` mechanism produced; use :attr:`events`
+        (typed, with I/O and timing deltas) instead.  See docs/API.md
+        for the migration table.
+        """
+        global _TRACE_DEPRECATION_WARNED
+        if not _TRACE_DEPRECATION_WARNED:
+            _TRACE_DEPRECATION_WARNED = True
+            warnings.warn(
+                "DFSResult.trace is deprecated; use DFSResult.events",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return legacy_trace_entries(self.events)
 
     @property
     def virtual_root(self) -> Optional[int]:
@@ -79,7 +107,17 @@ class DFSResult:
 
 
 class RunContext:
-    """Mutable bookkeeping shared by one algorithm invocation."""
+    """Mutable bookkeeping shared by one algorithm invocation.
+
+    The context owns the run's observability wiring: it binds the given
+    :class:`~repro.obs.Tracer` (or the shared null tracer) to the
+    device's I/O counter, attaches a private in-memory sink so
+    :attr:`DFSResult.events` is always populated, and installs the
+    tracer on the device for the duration of the run (so storage-layer
+    code can count retries against it).  Runners must call
+    :meth:`release` when done — :meth:`finish` does it for them on the
+    success path; error paths should use ``try/finally``.
+    """
 
     def __init__(
         self,
@@ -87,6 +125,7 @@ class RunContext:
         memory: int,
         algorithm: str,
         deadline_seconds: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         minimum = TREE_NODE_COST * graph.node_count
         if memory < minimum:
@@ -103,8 +142,13 @@ class RunContext:
         self.divisions = 0
         self.max_depth = 0
         self.details: Dict[str, int] = {}
-        self.trace: list = []
-        self.trace_enabled = False
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self._events = MemorySink()
+        self.tracer.attach(self._events)
+        self.tracer.bind(graph.device.stats)
+        self._prior_device_tracer = graph.device.tracer
+        graph.device.tracer = self.tracer
+        self._released = False
         self._start_io = graph.device.stats.snapshot()
         # repro: allow[SEX302] observational timing metric; never feeds tree construction
         self._start_time = time.perf_counter()
@@ -132,18 +176,28 @@ class RunContext:
         """Increment a free-form counter."""
         self.details[key] = self.details.get(key, 0) + amount
 
-    def record(self, event: str, **fields: object) -> None:
-        """Append a structured trace event (no-op unless tracing is on)."""
-        if self.trace_enabled:
-            entry: Dict[str, object] = {"event": event}
-            entry.update(fields)
-            self.trace.append(entry)
+    def release(self) -> None:
+        """Detach the run's tracer wiring (idempotent).
+
+        Restores the device's previous tracer, detaches the private
+        event sink, and unbinds the I/O counter, so an abandoned context
+        (``ConvergenceError``, deadline) cannot keep attributing another
+        run's I/O to this one.
+        """
+        if self._released:
+            return
+        self._released = True
+        self.graph.device.tracer = self._prior_device_tracer
+        self.tracer.detach(self._events)
+        self.tracer.bind(None)
 
     def finish(self, tree: SpanningTree) -> DFSResult:
         """Package the final tree into a :class:`DFSResult`."""
         io = self.graph.device.stats.snapshot() - self._start_io
         # repro: allow[SEX302] observational timing metric; never feeds tree construction
         elapsed = time.perf_counter() - self._start_time
+        events = list(self._events.events)
+        self.release()
         return DFSResult(
             tree=tree,
             order=real_preorder(tree),
@@ -155,7 +209,7 @@ class RunContext:
             max_depth=self.max_depth,
             kernel=self.graph.device.kernel.name,
             details=dict(self.details),
-            trace=list(self.trace),
+            events=events,
         )
 
 

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConvergenceError
 from ..graph.disk_graph import DiskGraph
+from ..obs import Tracer
 from ..storage.buffer_pool import MemoryBudget
 from ..storage.edge_file import EdgeFile
 from ..core.inmemory import dfs_preferring_tree
@@ -80,11 +81,11 @@ def _divide_conquer(
     size = real_node_count + edge_file.edge_count
 
     if size <= context.memory:
-        context.record(
-            "inmemory", depth=depth, nodes=real_node_count,
+        with context.tracer.span(
+            "solve", depth=depth, nodes=real_node_count,
             edges=edge_file.edge_count,
-        )
-        result = _solve_in_memory(edge_file, tree, context)
+        ):
+            result = _solve_in_memory(edge_file, tree, context)
         if owns_file:
             edge_file.delete()
         return result
@@ -97,15 +98,21 @@ def _divide_conquer(
     next_attempt = 1
     while division is None:
         context.check_deadline()
-        outcome = restructure(edge_file, tree, budget)
+        with context.tracer.span(
+            "restructure", depth=depth, nodes=real_node_count
+        ) as restructure_span:
+            outcome = restructure(edge_file, tree, budget)
+            restructure_span.annotate(
+                edges=edge_file.edge_count, batches=outcome.batches,
+                update=outcome.update,
+            )
         tree = outcome.tree
         context.passes += 1
         level_passes += 1
         context.bump("batches", outcome.batches)
-        context.record(
-            "restructure", depth=depth, nodes=real_node_count,
-            edges=edge_file.edge_count, batches=outcome.batches,
-            update=outcome.update,
+        context.tracer.progress(
+            algorithm=context.algorithm, passes=context.passes, depth=depth,
+            nodes=real_node_count,
         )
         if not outcome.update:
             # No forward-cross edge anywhere: the tree is a DFS-Tree.
@@ -125,39 +132,58 @@ def _divide_conquer(
         # division within 8 passes of it becoming possible.
         if level_passes < next_attempt:
             continue
-        cut_nodes, expanded = strategy(tree, budget)
-        division = divide_with_cut(
-            edge_file, tree, cut_nodes, expanded, context.allocator
-        )
-        context.bump("division_attempts")
+        with context.tracer.span("cut-tree", depth=depth):
+            cut_nodes, expanded = strategy(tree, budget)
+        with context.tracer.span(
+            "divide", depth=depth, nodes=real_node_count
+        ) as divide_span:
+            division = divide_with_cut(
+                edge_file, tree, cut_nodes, expanded, context.allocator,
+                tracer=context.tracer,
+            )
+            context.bump("division_attempts")
+            if division is not None:
+                divide_span.annotate(
+                    parts=division.part_count,
+                    contractions=division.contractions,
+                    part_sizes=sorted(
+                        (p.size for p in division.parts), reverse=True
+                    ),
+                )
         if division is None:
             next_attempt = level_passes + min(max(level_passes, 1), 8)
 
     context.divisions += 1
     context.bump("parts_created", division.part_count)
-    context.record(
-        "division", depth=depth, nodes=real_node_count,
-        parts=division.part_count, contractions=division.contractions,
-        part_sizes=sorted((p.size for p in division.parts), reverse=True),
-    )
     if owns_file:
         edge_file.delete()  # the parts and Σ fully replace this file
 
     part_trees: List[SpanningTree] = []
     for part in division.parts:
-        part_trees.append(
-            _divide_conquer(
-                part.edge_file,
-                len(part.real_nodes),
-                part.tree,
-                context,
-                strategy,
-                depth + 1,
-                owns_file=True,
-                pass_limit=pass_limit,
+        # The deadline must also interrupt between parts: a division can
+        # produce hundreds of them, and a run that checked the clock only
+        # inside each part's restructure loop could overshoot its budget
+        # by a whole in-memory solve per part.
+        context.check_deadline()
+        with context.tracer.span(
+            "part", depth=depth + 1, part=part.index,
+            nodes=len(part.real_nodes), edges=part.edge_file.edge_count,
+        ):
+            part_trees.append(
+                _divide_conquer(
+                    part.edge_file,
+                    len(part.real_nodes),
+                    part.tree,
+                    context,
+                    strategy,
+                    depth + 1,
+                    owns_file=True,
+                    pass_limit=pass_limit,
+                )
             )
-        )
-    return merge_division(division, part_trees)
+    with context.tracer.span("merge", depth=depth, parts=division.part_count):
+        merged = merge_division(division, part_trees)
+    return merged
 
 
 def _run(
@@ -169,23 +195,31 @@ def _run(
     max_passes: Optional[int],
     deadline_seconds: Optional[float],
     trace: bool,
+    tracer: Optional[Tracer],
 ) -> DFSResult:
-    context = RunContext(graph, memory, name, deadline_seconds)
-    context.trace_enabled = trace
-    tree = initial_star_tree(graph, context.allocator, start)
-    limit = default_max_passes(graph.node_count) if max_passes is None else max_passes
-    final = _divide_conquer(
-        graph.edge_file,
-        graph.node_count,
-        tree,
-        context,
-        strategy,
-        depth=0,
-        owns_file=False,
-        pass_limit=limit,
-    )
-    splice_non_root_virtuals(final)
-    return context.finish(final)
+    if tracer is None and trace:
+        tracer = Tracer()  # the legacy spelling of "record events"
+    context = RunContext(graph, memory, name, deadline_seconds, tracer)
+    try:
+        tree = initial_star_tree(graph, context.allocator, start)
+        limit = (
+            default_max_passes(graph.node_count)
+            if max_passes is None else max_passes
+        )
+        final = _divide_conquer(
+            graph.edge_file,
+            graph.node_count,
+            tree,
+            context,
+            strategy,
+            depth=0,
+            owns_file=False,
+            pass_limit=limit,
+        )
+        splice_non_root_virtuals(final)
+        return context.finish(final)
+    finally:
+        context.release()
 
 
 def divide_star_dfs(
@@ -195,16 +229,20 @@ def divide_star_dfs(
     max_passes: Optional[int] = None,
     deadline_seconds: Optional[float] = None,
     trace: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-Star division (Algorithm 3).
 
     Args:
-        trace: record per-level restructure/division/in-memory events in
-            ``DFSResult.trace`` for analysis.
+        trace: deprecated spelling of ``tracer=Tracer()`` — record
+            per-level restructure/division/in-memory events in
+            ``DFSResult.events``.
+        tracer: a :class:`~repro.obs.Tracer` to receive the run's span
+            events, metrics, and progress heartbeats.
     """
     return _run(
         graph, memory, star_strategy, "divide-star", start, max_passes,
-        deadline_seconds, trace,
+        deadline_seconds, trace, tracer,
     )
 
 
@@ -215,14 +253,18 @@ def divide_td_dfs(
     max_passes: Optional[int] = None,
     deadline_seconds: Optional[float] = None,
     trace: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-TD division (Algorithm 4).
 
     Args:
-        trace: record per-level restructure/division/in-memory events in
-            ``DFSResult.trace`` for analysis.
+        trace: deprecated spelling of ``tracer=Tracer()`` — record
+            per-level restructure/division/in-memory events in
+            ``DFSResult.events``.
+        tracer: a :class:`~repro.obs.Tracer` to receive the run's span
+            events, metrics, and progress heartbeats.
     """
     return _run(
         graph, memory, td_strategy, "divide-td", start, max_passes,
-        deadline_seconds, trace,
+        deadline_seconds, trace, tracer,
     )

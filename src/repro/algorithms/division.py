@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs import NULL_TRACER, Tracer
 from ..storage.edge_file import EdgeFile, PartitionWriter
 from ..core.classify import EdgeType, IntervalIndex
 from ..core.tree import SpanningTree, VirtualNodeAllocator
@@ -122,12 +123,15 @@ def divide_with_cut(
     cut_nodes: Set[int],
     expanded: Set[int],
     allocator: VirtualNodeAllocator,
+    tracer: Tracer = NULL_TRACER,
 ) -> Optional[Division]:
     """Run division steps 1–4 for a given cut.  ``None`` when invalid.
 
     Mutates ``tree`` only when the division will be valid: the part count
     is simulated (with Σ's SCCs collapsed) before the node contraction is
-    applied, so failed attempts leave the tree untouched.
+    applied, so failed attempts leave the tree untouched.  The S-edge
+    scan and the part-routing scan each get a child span on ``tracer``
+    (nested under the caller's ``divide`` span).
     """
     if len(cut_nodes) <= 1 or not expanded:
         return None
@@ -135,20 +139,24 @@ def divide_with_cut(
 
     # Step 1: one scan collecting S-edges whose LCA is an expanded cut node.
     sigma = SummaryGraph()
-    for node in cut_nodes:
-        sigma.add_node(node)
-    for parent_node in expanded:
-        for child in tree.children(parent_node):
-            sigma.add_edge(parent_node, child)
-    for u, v in edge_file.scan():
-        if u == v:
-            continue
-        kind = index.classify(u, v)
-        if kind is not EdgeType.FORWARD_CROSS and kind is not EdgeType.BACKWARD_CROSS:
-            continue
-        a, b, lca = s_edge_endpoints(tree, index, u, v)
-        if lca in expanded:
-            sigma.add_edge(a, b)
+    with tracer.span(
+        "sgraph", edges=edge_file.edge_count, cut_nodes=len(cut_nodes)
+    ) as sgraph_span:
+        for node in cut_nodes:
+            sigma.add_node(node)
+        for parent_node in expanded:
+            for child in tree.children(parent_node):
+                sigma.add_edge(parent_node, child)
+        for u, v in edge_file.scan():
+            if u == v:
+                continue
+            kind = index.classify(u, v)
+            if kind is not EdgeType.FORWARD_CROSS and kind is not EdgeType.BACKWARD_CROSS:
+                continue
+            a, b, lca = s_edge_endpoints(tree, index, u, v)
+            if lca in expanded:
+                sigma.add_edge(a, b)
+        sgraph_span.annotate(s_edges=sigma.edge_count)
 
     # Before mutating anything, simulate the part count the contraction
     # would leave: each multi-node SCC of Σ collapses its sibling group
@@ -187,18 +195,19 @@ def divide_with_cut(
         return None
 
     # Step 4: owner map + one routing scan into the part files.
-    owner: Dict[int, int] = {}
-    part_meta: List[Tuple[int, int]] = []  # (index, root)
-    for part_index, leaf in enumerate(leaves, start=1):
-        part_meta.append((part_index, leaf))
-        for node in tree.preorder(start=leaf):
-            owner[node] = part_index
-    writer = PartitionWriter(edge_file.device, [i for i, _ in part_meta])
-    for u, v in edge_file.scan():
-        part_u = owner.get(u)
-        if part_u is not None and part_u == owner.get(v):
-            writer.route(part_u, u, v)
-    part_files = writer.seal()
+    with tracer.span("partition", parts=len(leaves)):
+        owner: Dict[int, int] = {}
+        part_meta: List[Tuple[int, int]] = []  # (index, root)
+        for part_index, leaf in enumerate(leaves, start=1):
+            part_meta.append((part_index, leaf))
+            for node in tree.preorder(start=leaf):
+                owner[node] = part_index
+        writer = PartitionWriter(edge_file.device, [i for i, _ in part_meta])
+        for u, v in edge_file.scan():
+            part_u = owner.get(u)
+            if part_u is not None and part_u == owner.get(v):
+                writer.route(part_u, u, v)
+        part_files = writer.seal()
 
     parts: List[Part] = []
     for part_index, leaf in part_meta:

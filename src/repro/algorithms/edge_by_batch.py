@@ -14,6 +14,7 @@ from ..core.tree import SpanningTree
 from ..core.tree_io import save_tree
 from ..errors import ConvergenceError
 from ..graph.disk_graph import DiskGraph
+from ..obs import Tracer
 from .base import DFSResult, RunContext, default_max_passes, initial_star_tree
 from .restructure import restructure
 
@@ -28,6 +29,7 @@ def edge_by_batch(
     deadline_seconds: Optional[float] = None,
     checkpoint_every: Optional[int] = None,
     initial_tree: Optional[SpanningTree] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DFSResult:
     """Compute a DFS-Tree with the SEMI-DFS batch heuristic.
 
@@ -51,12 +53,15 @@ def edge_by_batch(
             when a cap interrupts the run.
         initial_tree: resume from a tree loaded via
             :func:`repro.core.load_tree` instead of the initial γ-star.
+        tracer: a :class:`~repro.obs.Tracer` to receive the run's span
+            events (one ``restructure`` span per pass, ``checkpoint``
+            spans), metrics, and per-pass progress heartbeats.
 
     Raises:
         ConvergenceError: if the heuristic exceeds ``max_passes`` or the
             deadline.
     """
-    context = RunContext(graph, memory, "edge-by-batch", deadline_seconds)
+    context = RunContext(graph, memory, "edge-by-batch", deadline_seconds, tracer)
     context.budget.charge("tree", context.budget.tree_charge(graph.node_count))
     if initial_tree is not None:
         if start is not None or order is not None:
@@ -74,33 +79,52 @@ def edge_by_batch(
 
     def take_checkpoint() -> None:
         nonlocal checkpoint_path
-        checkpoint_path = save_tree(graph.device, tree, name="edge-by-batch-ckpt")
-
-    while True:
-        try:
-            context.check_deadline()
-        except ConvergenceError as exc:
-            if checkpoint_every:
-                take_checkpoint()
-                exc.checkpoint_path = checkpoint_path  # type: ignore[attr-defined]
-            raise
-        outcome = restructure(graph.edge_file, tree, context.budget, stack_device)
-        tree = outcome.tree
-        context.passes += 1
-        context.bump("batches", outcome.batches)
-        context.bump("rebuilds", outcome.rebuilds)
-        if checkpoint_every and context.passes % checkpoint_every == 0:
-            take_checkpoint()
-        if not outcome.update:
-            result = context.finish(tree)
-            if checkpoint_path is not None:
-                result.details["checkpoint"] = checkpoint_path  # type: ignore[index]
-            return result
-        if context.passes >= limit:
-            error = ConvergenceError(
-                f"edge-by-batch did not converge within {limit} passes"
+        with context.tracer.span("checkpoint", passes=context.passes):
+            checkpoint_path = save_tree(
+                graph.device, tree, name="edge-by-batch-ckpt"
             )
-            if checkpoint_every:
+
+    try:
+        while True:
+            try:
+                context.check_deadline()
+            except ConvergenceError as exc:
+                if checkpoint_every:
+                    take_checkpoint()
+                    exc.checkpoint_path = checkpoint_path  # type: ignore[attr-defined]
+                raise
+            with context.tracer.span(
+                "restructure", nodes=graph.node_count
+            ) as span:
+                outcome = restructure(
+                    graph.edge_file, tree, context.budget, stack_device
+                )
+                span.annotate(
+                    edges=graph.edge_file.edge_count,
+                    batches=outcome.batches, update=outcome.update,
+                )
+            tree = outcome.tree
+            context.passes += 1
+            context.bump("batches", outcome.batches)
+            context.bump("rebuilds", outcome.rebuilds)
+            context.tracer.progress(
+                algorithm="edge-by-batch", passes=context.passes,
+                batches=outcome.batches,
+            )
+            if checkpoint_every and context.passes % checkpoint_every == 0:
                 take_checkpoint()
-                error.checkpoint_path = checkpoint_path  # type: ignore[attr-defined]
-            raise error
+            if not outcome.update:
+                result = context.finish(tree)
+                if checkpoint_path is not None:
+                    result.details["checkpoint"] = checkpoint_path  # type: ignore[index]
+                return result
+            if context.passes >= limit:
+                error = ConvergenceError(
+                    f"edge-by-batch did not converge within {limit} passes"
+                )
+                if checkpoint_every:
+                    take_checkpoint()
+                    error.checkpoint_path = checkpoint_path  # type: ignore[attr-defined]
+                raise error
+    finally:
+        context.release()

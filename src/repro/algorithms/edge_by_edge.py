@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..errors import ConvergenceError
 from ..graph.disk_graph import DiskGraph
+from ..obs import Tracer
 from ..core.classify import EdgeType, IntervalIndex
 from ..core.order import classify_edge_dynamic
 from .base import DFSResult, RunContext, default_max_passes, initial_star_tree
@@ -28,6 +29,7 @@ def edge_by_edge(
     start: Optional[int] = None,
     max_passes: Optional[int] = None,
     deadline_seconds: Optional[float] = None,
+    tracer: Optional[Tracer] = None,
 ) -> DFSResult:
     """Compute a DFS-Tree with the per-edge restructuring heuristic.
 
@@ -36,11 +38,13 @@ def edge_by_edge(
         memory: budget ``M`` in elements (only the tree is held: ``3|V|``).
         start: optional DFS start node.
         max_passes: cap on scan passes; defaults to ``2n + 16``.
+        tracer: a :class:`~repro.obs.Tracer` to receive one
+            ``restructure`` span per scan pass plus progress heartbeats.
 
     Raises:
         ConvergenceError: if the heuristic exceeds ``max_passes``.
     """
-    context = RunContext(graph, memory, "edge-by-edge", deadline_seconds)
+    context = RunContext(graph, memory, "edge-by-edge", deadline_seconds, tracer)
     context.budget.charge("tree", context.budget.tree_charge(graph.node_count))
     tree = initial_star_tree(graph, context.allocator, start)
     limit = default_max_passes(graph.node_count) if max_passes is None else max_passes
@@ -53,34 +57,46 @@ def edge_by_edge(
     # computed tree is identical to the naive implementation's.
     rebuild_allowance = max(1, graph.edge_count // max(1, graph.node_count))
 
-    while True:
-        context.check_deadline()
-        update = False
-        fixes = 0
-        index = IntervalIndex(tree)
-        for u, v in graph.edge_file.scan():
-            if u == v:
-                continue
-            if index is not None:
-                kind = index.classify(u, v)
-            else:
-                kind = classify_edge_dynamic(tree, u, v)
-            if kind is EdgeType.FORWARD_CROSS:
-                # Replace (parent(v), v) by (u, v): v's subtree moves under
-                # u.  u and v are order-incomparable (the edge is cross), so
-                # u cannot lie inside v's subtree.
-                tree.reattach(v, u)
-                update = True
-                fixes += 1
-                if fixes <= rebuild_allowance:
-                    index = IntervalIndex(tree)
-                else:
-                    index = None
-        context.passes += 1
-        context.bump("reattachments", fixes)
-        if not update:
-            return context.finish(tree)
-        if context.passes >= limit:
-            raise ConvergenceError(
-                f"edge-by-edge did not converge within {limit} passes"
+    try:
+        while True:
+            context.check_deadline()
+            update = False
+            fixes = 0
+            index = IntervalIndex(tree)
+            with context.tracer.span(
+                "restructure", nodes=graph.node_count,
+                edges=graph.edge_file.edge_count,
+            ) as span:
+                for u, v in graph.edge_file.scan():
+                    if u == v:
+                        continue
+                    if index is not None:
+                        kind = index.classify(u, v)
+                    else:
+                        kind = classify_edge_dynamic(tree, u, v)
+                    if kind is EdgeType.FORWARD_CROSS:
+                        # Replace (parent(v), v) by (u, v): v's subtree moves
+                        # under u.  u and v are order-incomparable (the edge
+                        # is cross), so u cannot lie inside v's subtree.
+                        tree.reattach(v, u)
+                        update = True
+                        fixes += 1
+                        if fixes <= rebuild_allowance:
+                            index = IntervalIndex(tree)
+                        else:
+                            index = None
+                span.annotate(reattachments=fixes, update=update)
+            context.passes += 1
+            context.bump("reattachments", fixes)
+            context.tracer.progress(
+                algorithm="edge-by-edge", passes=context.passes,
+                reattachments=fixes,
             )
+            if not update:
+                return context.finish(tree)
+            if context.passes >= limit:
+                raise ConvergenceError(
+                    f"edge-by-edge did not converge within {limit} passes"
+                )
+    finally:
+        context.release()

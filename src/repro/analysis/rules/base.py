@@ -32,6 +32,13 @@ STORAGE_LAYER_FILES: Tuple[str, ...] = ("repro/graph/io.py",)
 #: memory-discipline and determinism rules apply.
 ALGORITHM_PATH_PREFIXES: Tuple[str, ...] = ("repro/algorithms/", "repro/core/")
 
+#: Path prefixes of the observability layer (span tracing, metrics,
+#: profiles).  Wall-clock reads there are purely observational by
+#: construction — they land in event records and never feed tree
+#: construction — so the SEX3xx wall-clock rule exempts them without
+#: per-call waivers.
+OBSERVABILITY_PATH_PREFIXES: Tuple[str, ...] = ("repro/obs/",)
+
 #: Attribute names that return a block-charged edge iterator; wrapping one
 #: in a materializer is an O(E) memory-model breach.
 SCAN_METHOD_NAMES: Tuple[str, ...] = ("scan", "scan_blocks", "scan_columns")
@@ -83,6 +90,11 @@ def in_storage_layer(relpath: str) -> bool:
 def in_algorithm_core(relpath: str) -> bool:
     """Whether ``relpath`` is part of the semi-external algorithm core."""
     return relpath.startswith(ALGORITHM_PATH_PREFIXES)
+
+
+def in_observability_layer(relpath: str) -> bool:
+    """Whether ``relpath`` is part of the observability layer."""
+    return relpath.startswith(OBSERVABILITY_PATH_PREFIXES)
 
 
 #: Registry of checkable rules, keyed by code (populated by ``register``).

@@ -15,7 +15,13 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Tuple
 
-from .base import RawViolation, Rule, in_algorithm_core, register
+from .base import (
+    RawViolation,
+    Rule,
+    in_algorithm_core,
+    in_observability_layer,
+    register,
+)
 
 #: ``random`` module functions that draw from the shared, unseeded global
 #: generator (seeding the global via ``random.seed`` is still shared
@@ -88,11 +94,12 @@ class WallClockRule(Rule):
     summary = (
         "time.*/datetime.now() inside repro/algorithms/ or repro/core/ "
         "makes behaviour time-dependent; waive only observational uses "
-        "(metrics, deadlines that abort rather than alter results)"
+        "(metrics, deadlines that abort rather than alter results); the "
+        "observability layer (repro/obs/) is exempt wholesale"
     )
 
     def applies_to(self, relpath: str) -> bool:
-        return in_algorithm_core(relpath)
+        return in_algorithm_core(relpath) and not in_observability_layer(relpath)
 
     def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
         for node in ast.walk(module):

@@ -7,27 +7,115 @@
 ...     result = semi_external_dfs(graph, memory=4000, algorithm="divide-td")
 ...     len(result.order)
 1000
+
+Options are passed as a typed :class:`~repro.options.RunOptions` value::
+
+    result = semi_external_dfs(
+        graph, memory, algorithm="divide-td",
+        options=RunOptions(deadline_seconds=60.0, tracer=Tracer()),
+    )
+
+Legacy keyword options (``semi_external_dfs(..., max_passes=8)``) still
+work but emit a ``DeprecationWarning`` once per option name; unknown
+names raise a ``ValueError`` listing the valid ones.  Algorithms live in
+an :class:`~repro.registry.AlgorithmRegistry` (``repro.ALGORITHMS``),
+extensible via :func:`register_algorithm`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import warnings
+from typing import Dict, Optional, Set
 
 from .algorithms.base import DFSResult
 from .algorithms.divide_conquer import divide_star_dfs, divide_td_dfs
 from .algorithms.edge_by_batch import edge_by_batch
 from .algorithms.edge_by_edge import edge_by_edge
 from .graph.disk_graph import DiskGraph
+from .options import OPTION_NAMES, RunOptions
+from .registry import BASE_OPTIONS, AlgorithmRegistry, AlgorithmSpec
 
-#: Registered algorithm names, as used throughout the benchmarks.  The
-#: paper's SEMI-DFS comparison baseline is ``edge-by-batch``.
-ALGORITHMS: Dict[str, Callable[..., DFSResult]] = {
-    "edge-by-edge": edge_by_edge,
-    "edge-by-batch": edge_by_batch,
-    "semi-dfs": edge_by_batch,  # the paper's name for the baseline
-    "divide-star": divide_star_dfs,
-    "divide-td": divide_td_dfs,
+#: Options understood by the edge-by-batch baseline on top of the base set.
+BATCH_OPTIONS = BASE_OPTIONS | {
+    "order", "use_external_stack", "checkpoint_every", "initial_tree",
 }
+
+#: Registered algorithms, as used throughout the benchmarks.  A
+#: ``Mapping[str, runner]`` whose keys include aliases (the paper's name
+#: for the batch baseline is ``SEMI-DFS``); see
+#: :class:`~repro.registry.AlgorithmRegistry` for the richer spec API.
+ALGORITHMS = AlgorithmRegistry()
+
+ALGORITHMS.register(AlgorithmSpec(
+    name="edge-by-edge",
+    runner=edge_by_edge,
+    description="per-edge restructuring heuristic (quadratic; baseline)",
+    slow=True,
+))
+ALGORITHMS.register(AlgorithmSpec(
+    name="edge-by-batch",
+    runner=edge_by_batch,
+    description="batched restructuring baseline (the paper's SEMI-DFS)",
+    aliases=("semi-dfs",),
+    options=BATCH_OPTIONS,
+))
+ALGORITHMS.register(AlgorithmSpec(
+    name="divide-star",
+    runner=divide_star_dfs,
+    description="divide & conquer with Divide-Star divisions",
+))
+ALGORITHMS.register(AlgorithmSpec(
+    name="divide-td",
+    runner=divide_td_dfs,
+    description="divide & conquer with top-down (Divide-TD) divisions",
+))
+
+
+def register_algorithm(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Register a third-party algorithm under its name and aliases.
+
+    The runner must accept ``(graph, memory, start=..., **options)`` and
+    return a :class:`~repro.algorithms.base.DFSResult`; it becomes
+    available to :func:`semi_external_dfs`, ``repro dfs --algorithm``
+    and ``repro compare`` immediately.
+    """
+    return ALGORITHMS.register(spec)
+
+
+#: Legacy option names already warned about this process (the shim warns
+#: once per name, not once per call).
+_WARNED_OPTIONS: Set[str] = set()
+
+
+def _apply_legacy_options(
+    options: RunOptions,
+    legacy: Dict[str, object],
+) -> RunOptions:
+    """Fold deprecated ``**kwargs`` options into a :class:`RunOptions`."""
+    changes: Dict[str, object] = {}
+    for name, value in legacy.items():
+        if name == "trace":
+            # The pre-RunOptions spelling of "give me a tracer".
+            if value:
+                from .obs import Tracer
+
+                changes["tracer"] = Tracer()
+        elif name in OPTION_NAMES:
+            changes[name] = value
+        else:
+            known = ", ".join(sorted(OPTION_NAMES | {"trace"}))
+            raise ValueError(
+                f"unknown option {name!r}; valid options: {known}"
+            )
+        if name not in _WARNED_OPTIONS:
+            _WARNED_OPTIONS.add(name)
+            warnings.warn(
+                f"passing {name!r} as a keyword to semi_external_dfs() is "
+                f"deprecated; use options=RunOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+    return options.replace(**changes) if changes else options
 
 
 def semi_external_dfs(
@@ -35,7 +123,8 @@ def semi_external_dfs(
     memory: int,
     algorithm: str = "divide-td",
     start: Optional[int] = None,
-    **options: object,
+    options: Optional[RunOptions] = None,
+    **legacy_options: object,
 ) -> DFSResult:
     """Compute a DFS-Tree of an on-disk graph under a memory budget.
 
@@ -43,22 +132,26 @@ def semi_external_dfs(
         graph: the graph (node count in memory, edges on disk).
         memory: budget ``M`` in elements; must satisfy ``M >= 3 * |V|``
             (the semi-external assumption).
-        algorithm: one of ``edge-by-edge``, ``edge-by-batch`` /
-            ``semi-dfs``, ``divide-star``, ``divide-td``.
+        algorithm: a registered name or alias — ``edge-by-edge``,
+            ``edge-by-batch`` / ``semi-dfs``, ``divide-star``,
+            ``divide-td``, or anything added via
+            :func:`register_algorithm`.
         start: optional start node for the DFS.
-        **options: forwarded to the algorithm — ``max_passes`` and
-            ``deadline_seconds`` everywhere; ``use_external_stack``,
-            ``order``, ``checkpoint_every``, ``initial_tree`` for the
-            batch baseline; ``trace`` for the divide & conquer pair.
-            See docs/API.md for the full option table.
+        options: typed run options; fields explicitly set but not
+            supported by the chosen algorithm raise ``ValueError``.
+            See docs/API.md for the per-algorithm option table.
+        **legacy_options: deprecated keyword spelling of the same
+            options (plus ``trace``); emits a ``DeprecationWarning``
+            once per name.
 
     Returns:
         A :class:`~repro.algorithms.base.DFSResult` with the tree, the DFS
-        total order, and the measured I/O and pass counts.
+        total order, the measured I/O and pass counts, and the recorded
+        span events.
     """
-    try:
-        runner = ALGORITHMS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(ALGORITHMS))
-        raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}") from None
-    return runner(graph, memory, start=start, **options)
+    spec = ALGORITHMS.spec(algorithm)
+    resolved = options if options is not None else RunOptions()
+    if legacy_options:
+        resolved = _apply_legacy_options(resolved, legacy_options)
+    kwargs = resolved.to_kwargs(spec.options, spec.name)
+    return spec.runner(graph, memory, start=start, **kwargs)

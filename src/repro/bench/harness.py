@@ -5,15 +5,36 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..api import semi_external_dfs
 from ..errors import ConvergenceError
 from ..graph.disk_graph import DiskGraph
+from ..obs import MemorySink, SpanEvent, Tracer, phase_totals
+from ..options import RunOptions
 from ..storage.block_device import BlockDevice
 
 Edge = Tuple[int, int]
+
+#: The per-phase breakdown benchmarks report (the CSV's trailing columns).
+PHASE_COLUMNS: Tuple[str, ...] = ("restructure", "divide", "solve", "merge")
+
+
+def _phase_breakdown(
+    events: Sequence[SpanEvent],
+) -> Tuple[Dict[str, float], Dict[str, int]]:
+    """Per-phase seconds and block-I/O totals for the CSV columns."""
+    totals = phase_totals(events)
+    seconds = {
+        phase: totals[phase].seconds for phase in PHASE_COLUMNS
+        if phase in totals
+    }
+    ios = {
+        phase: totals[phase].io.total for phase in PHASE_COLUMNS
+        if phase in totals
+    }
+    return seconds, ios
 
 
 def default_dnf_seconds() -> float:
@@ -42,6 +63,11 @@ class CellResult:
     kernel: str = "python"
     retries: int = 0  # physical retry attempts (excluded from `ios`)
     faults: int = 0  # injected/observed block faults during the run
+    #: Wall-clock seconds per phase (keys from :data:`PHASE_COLUMNS`;
+    #: phases the algorithm never entered are absent).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Block I/Os per phase (same keys as :attr:`phase_seconds`).
+    phase_ios: Dict[str, int] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -69,21 +95,29 @@ def run_cell(
         graph = DiskGraph.from_edges(device, node_count, edges, validate=False)
         started = time.perf_counter()
         before = device.stats.snapshot()
+        # The harness keeps its own sink so the per-phase breakdown
+        # survives even a DNF (the run context's private sink is detached
+        # when the run aborts).
+        events = MemorySink()
+        tracer = Tracer(sinks=[events])
         try:
             result = semi_external_dfs(
                 graph, memory, algorithm=algorithm, start=start,
-                deadline_seconds=dnf_seconds,
+                options=RunOptions(deadline_seconds=dnf_seconds, tracer=tracer),
             )
         except ConvergenceError:
             elapsed = time.perf_counter() - started
             delta = device.stats.snapshot() - before
+            seconds, ios = _phase_breakdown(events.events)
             return CellResult(
                 x=x, algorithm=algorithm, time_seconds=elapsed, ios=delta.total,
                 passes=0, divisions=0,
                 node_count=node_count, edge_count=graph.edge_count, dnf=True,
                 kernel=device.kernel.name,
                 retries=delta.retries, faults=delta.faults,
+                phase_seconds=seconds, phase_ios=ios,
             )
+        seconds, ios = _phase_breakdown(result.events)
         return CellResult(
             x=x, algorithm=algorithm,
             time_seconds=result.elapsed_seconds, ios=result.io.total,
@@ -91,6 +125,7 @@ def run_cell(
             node_count=node_count, edge_count=graph.edge_count,
             kernel=result.kernel,
             retries=result.io.retries, faults=result.io.faults,
+            phase_seconds=seconds, phase_ios=ios,
         )
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from .harness import CellResult
+from .harness import PHASE_COLUMNS, CellResult
 
 #: Display names matching the paper's legends.
 ALGORITHM_LABELS = {
@@ -98,17 +98,29 @@ def render_csv(results: Sequence[CellResult]) -> str:
     """Machine-readable dump of a series.
 
     ``ios`` is the logical charge (identical under any survivable fault
-    plan); ``retries``/``faults`` report what the resilience layer absorbed.
+    plan); ``retries``/``faults`` report what the resilience layer
+    absorbed.  The trailing ``<phase>_seconds``/``<phase>_ios`` column
+    pairs break the run down over the non-overlapping span phases
+    (restructure/divide/solve/merge); zero for phases the algorithm
+    never entered or when the cell ran untraced.
     """
+    phase_headers = ",".join(
+        f"{phase}_seconds,{phase}_ios" for phase in PHASE_COLUMNS
+    )
     lines = [
         "x,algorithm,time_seconds,ios,passes,divisions,nodes,edges,"
-        "retries,faults,dnf,kernel"
+        f"retries,faults,dnf,kernel,{phase_headers}"
     ]
     for cell in results:
+        phases = ",".join(
+            f"{cell.phase_seconds.get(phase, 0.0):.4f},"
+            f"{cell.phase_ios.get(phase, 0)}"
+            for phase in PHASE_COLUMNS
+        )
         lines.append(
             f"{cell.x},{cell.algorithm},{cell.time_seconds:.4f},{cell.ios},"
             f"{cell.passes},{cell.divisions},{cell.node_count},"
             f"{cell.edge_count},{cell.retries},{cell.faults},"
-            f"{int(cell.dnf)},{cell.kernel}"
+            f"{int(cell.dnf)},{cell.kernel},{phases}"
         )
     return "\n".join(lines)

@@ -32,6 +32,8 @@ from .core import verify_dfs_tree
 from .errors import ReproError
 from .graph import all_datasets, load_edge_list, write_edge_list
 from .graph.generators import power_law_graph_edges, random_graph_edges
+from .obs import JSONLSink, Tracer, render_profile
+from .options import RunOptions
 from .storage import BlockDevice, FaultPlan
 from .storage.faults import FAULT_SEED_ENV_VAR
 
@@ -117,6 +119,13 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 def _command_dfs(args: argparse.Namespace) -> int:
     fault_plan = _resolve_fault_plan(args)
+    tracer: Optional[Tracer] = None
+    trace_sink: Optional[JSONLSink] = None
+    if args.trace_out or args.profile:
+        tracer = Tracer()
+        if args.trace_out:
+            trace_sink = JSONLSink(args.trace_out)
+            tracer.attach(trace_sink)
     with BlockDevice(
         block_elements=args.block_size, kernel=args.kernel, fault_plan=fault_plan
     ) as device:
@@ -126,9 +135,14 @@ def _command_dfs(args: argparse.Namespace) -> int:
             f"graph: n={graph.node_count} m={graph.edge_count} "
             f"blocks={graph.edge_file.block_count}  M={memory}"
         )
-        result = semi_external_dfs(
-            graph, memory, algorithm=args.algorithm, start=args.start
-        )
+        try:
+            result = semi_external_dfs(
+                graph, memory, algorithm=args.algorithm, start=args.start,
+                options=RunOptions(tracer=tracer),
+            )
+        finally:
+            if trace_sink is not None:
+                trace_sink.close()
         print(
             f"{result.algorithm}: time={result.elapsed_seconds:.2f}s "
             f"io={result.io.total} (r={result.io.reads} w={result.io.writes}) "
@@ -136,6 +150,13 @@ def _command_dfs(args: argparse.Namespace) -> int:
             f"depth={result.max_depth} kernel={result.kernel} "
             f"retries={result.retries} faults={result.faults}"
         )
+        if trace_sink is not None:
+            print(
+                f"trace: {trace_sink.events_written} span events written "
+                f"to {args.trace_out}"
+            )
+        if args.profile and tracer is not None:
+            print(render_profile(result.events, tracer.metrics))
         if fault_plan is not None:
             print(
                 f"fault plan: seed={fault_plan.seed} "
@@ -165,12 +186,17 @@ def _command_dfs(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    """Run every algorithm on one edge list and print a comparison table."""
+    """Run every registered algorithm on one edge list and compare costs."""
     from .errors import ConvergenceError
 
-    algorithms = ["edge-by-batch", "divide-star", "divide-td"]
-    if args.include_edge_by_edge:
-        algorithms.insert(0, "edge-by-edge")
+    # Enumerate the registry (canonical names, once per algorithm), so
+    # third-party algorithms registered via register_algorithm() are
+    # swept too; slow entries join only on request.
+    algorithms = [
+        spec.name
+        for spec in ALGORITHMS.specs()
+        if not spec.slow or args.include_edge_by_edge
+    ]
     with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
@@ -185,7 +211,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             try:
                 result = semi_external_dfs(
                     graph, memory, algorithm=algorithm,
-                    deadline_seconds=args.timeout,
+                    options=RunOptions(deadline_seconds=args.timeout),
                 )
             except ConvergenceError:
                 print(f"{algorithm:14s} {'DNF':>8s}")
@@ -297,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     dfs.add_argument("--verify", action="store_true",
                      help="scan the edge file to certify the DFS-Tree")
     dfs.add_argument("--output", help="write the DFS order here")
+    dfs.add_argument("--trace-out",
+                     help="write span events as JSON-Lines to this file")
+    dfs.add_argument("--profile", action="store_true",
+                     help="print a per-phase time/I/O profile after the run")
     dfs.set_defaults(handler=_command_dfs)
 
     compare = commands.add_parser(

@@ -1,0 +1,35 @@
+"""Cheap counter / gauge metrics carried by a tracer.
+
+Counters accumulate (``device.retries``, ``sort.runs``); gauges hold the
+latest observation (``frontier_size``).  Both are plain dict updates —
+cheap enough for retry loops — and are rendered alongside the span
+profile (:func:`repro.obs.profile.render_profile`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Metrics:
+    """A tracer's counter and gauge store."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of the named gauge."""
+        self.gauges[name] = value
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges)
+
+    def __repr__(self) -> str:
+        return f"Metrics(counters={self.counters!r}, gauges={self.gauges!r})"

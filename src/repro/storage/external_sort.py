@@ -100,13 +100,21 @@ def sort_edge_file(
     """
     if memory_edges <= 0:
         raise ValueError("memory_edges must be positive")
-    runs = _form_runs(device, source, memory_edges, key)
-    if not runs:
-        return device.create_edge_file().seal()
-    if len(runs) == 1 and not unique:
-        return runs[0]
-    merged = _merge_runs(device, runs, key, unique)
-    if delete_runs:
-        for run in runs:
-            run.delete()
-    return merged
+    tracer = device.tracer
+    with tracer.span(
+        "sort", edges=source.edge_count, memory_edges=memory_edges
+    ) as sort_span:
+        with tracer.span("sort.runs"):
+            runs = _form_runs(device, source, memory_edges, key)
+        sort_span.annotate(runs=len(runs))
+        tracer.count("sort.runs_formed", len(runs))
+        if not runs:
+            return device.create_edge_file().seal()
+        if len(runs) == 1 and not unique:
+            return runs[0]
+        with tracer.span("sort.merge", runs=len(runs)):
+            merged = _merge_runs(device, runs, key, unique)
+        if delete_runs:
+            for run in runs:
+                run.delete()
+        return merged

@@ -59,9 +59,27 @@ class TestRenderCSV:
         csv = render_csv(rows)
         lines = csv.splitlines()
         assert lines[0].startswith("x,algorithm,time_seconds,ios")
-        assert lines[0].endswith(",dnf,kernel")
+        assert ",dnf,kernel," in lines[0]
         assert "20%,divide-td,1.2345,42,3,1,100,500,0,0,0,python" in lines[1]
+
+    def test_per_phase_columns(self):
+        row = cell("20%", "divide-td")
+        row.phase_seconds = {"restructure": 0.5, "solve": 0.25}
+        row.phase_ios = {"restructure": 30, "solve": 12}
+        csv = render_csv([row])
+        header, body = csv.splitlines()
+        for phase in ("restructure", "divide", "solve", "merge"):
+            assert f"{phase}_seconds,{phase}_ios" in header
+        columns = dict(zip(header.split(","), body.split(",")))
+        assert columns["restructure_seconds"] == "0.5000"
+        assert columns["restructure_ios"] == "30"
+        assert columns["solve_ios"] == "12"
+        # phases the run never entered render as zero, not blank
+        assert columns["divide_ios"] == "0"
+        assert columns["merge_seconds"] == "0.0000"
 
     def test_dnf_flag(self):
         csv = render_csv([cell("20%", "a", dnf=True)])
-        assert csv.splitlines()[1].endswith(",1,python")
+        columns = dict(zip(*[line.split(",") for line in csv.splitlines()]))
+        assert columns["dnf"] == "1"
+        assert columns["kernel"] == "python"

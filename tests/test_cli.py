@@ -71,6 +71,29 @@ class TestDFS:
                      "--memory-ratio", "0.3"]) == 0
         assert "DFS order: 17" in capsys.readouterr().out
 
+    def test_dfs_trace_out_writes_valid_jsonl(self, graph_file, tmp_path,
+                                              capsys):
+        import json
+
+        from repro.obs import SpanEvent
+
+        trace_path = tmp_path / "events.jsonl"
+        assert main(["dfs", "--input", graph_file, "--memory-ratio", "0.3",
+                     "--trace-out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        with open(trace_path) as handle:
+            events = [SpanEvent.from_dict(json.loads(line)) for line in handle]
+        assert events, "trace file is empty"
+        assert {"restructure"} <= {event.name for event in events}
+        assert f"trace: {len(events)} span events" in out
+
+    def test_dfs_profile_prints_phase_table(self, graph_file, capsys):
+        assert main(["dfs", "--input", graph_file, "--memory-ratio", "0.3",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (per span path" in out
+        assert "restructure" in out
+
 
 class TestApps:
     def test_toposort(self, tmp_path, capsys):
