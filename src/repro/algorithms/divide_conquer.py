@@ -18,6 +18,7 @@ tree is a genuine DFS forest of ``G`` under the virtual root ``γ``.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConvergenceError
@@ -35,6 +36,10 @@ from .restructure import restructure
 
 #: A cut strategy maps (tree, memory budget) -> (cut_nodes, expanded).
 CutStrategy = Callable[[SpanningTree, MemoryBudget], Tuple[Set[int], Set[int]]]
+
+#: Whether the "trace= ignored next to tracer=" deprecation has been
+#: announced (once per process, mirroring the RunOptions kwargs shim).
+_TRACE_TRACER_WARNED = False
 
 
 def star_strategy(tree: SpanningTree, budget: MemoryBudget) -> Tuple[Set[int], Set[int]]:
@@ -81,6 +86,11 @@ def _divide_conquer(
     size = real_node_count + edge_file.edge_count
 
     if size <= context.memory:
+        # The deadline must interrupt here too: a division can hand this
+        # branch hundreds of in-memory solves, and a run that only checked
+        # the clock in the restructure loop would overshoot its budget by
+        # a whole solve per part.
+        context.check_deadline()
         with context.tracer.span(
             "solve", depth=depth, nodes=real_node_count,
             edges=edge_file.edge_count,
@@ -159,28 +169,49 @@ def _divide_conquer(
         edge_file.delete()  # the parts and Σ fully replace this file
 
     part_trees: List[SpanningTree] = []
-    for part in division.parts:
-        # The deadline must also interrupt between parts: a division can
-        # produce hundreds of them, and a run that checked the clock only
-        # inside each part's restructure loop could overshoot its budget
-        # by a whole in-memory solve per part.
-        context.check_deadline()
-        with context.tracer.span(
-            "part", depth=depth + 1, part=part.index,
-            nodes=len(part.real_nodes), edges=part.edge_file.edge_count,
-        ):
-            part_trees.append(
-                _divide_conquer(
-                    part.edge_file,
-                    len(part.real_nodes),
-                    part.tree,
-                    context,
-                    strategy,
-                    depth + 1,
-                    owns_file=True,
-                    pass_limit=pass_limit,
-                )
+    try:
+        if context.workers > 1 and depth == 0 and division.part_count > 1:
+            # Top-level parts go to the process pool; each worker runs this
+            # same recursion sequentially on its own part (repro.parallel).
+            from ..parallel import conquer_parts
+
+            part_trees = conquer_parts(
+                division, context, strategy, depth + 1, pass_limit
             )
+        else:
+            for part in division.parts:
+                # The deadline must also interrupt between parts: a division
+                # can produce hundreds of them, and a run that checked the
+                # clock only inside each part's restructure loop could
+                # overshoot its budget by a whole in-memory solve per part.
+                context.check_deadline()
+                with context.tracer.span(
+                    "part", depth=depth + 1, part=part.index,
+                    nodes=len(part.real_nodes), edges=part.edge_file.edge_count,
+                ):
+                    part_trees.append(
+                        _divide_conquer(
+                            part.edge_file,
+                            len(part.real_nodes),
+                            part.tree,
+                            context,
+                            strategy,
+                            depth + 1,
+                            owns_file=True,
+                            pass_limit=pass_limit,
+                        )
+                    )
+    # repro: allow[SEX402] cleanup-and-reraise at the recursion boundary; the error propagates untouched
+    except Exception:
+        # This level's division already replaced the parent edge file, so
+        # its part files are owned here and nowhere else: without this
+        # sweep, an error raised inside any part (deadline, pass cap, a
+        # crashed pool worker) would leak every not-yet-consumed part file
+        # onto the device.  delete() is idempotent, so parts the recursion
+        # or a worker already consumed are unaffected.
+        for part in division.parts:
+            part.edge_file.delete()
+        raise
     with context.tracer.span("merge", depth=depth, parts=division.part_count):
         merged = merge_division(division, part_trees)
     return merged
@@ -196,10 +227,25 @@ def _run(
     deadline_seconds: Optional[float],
     trace: bool,
     tracer: Optional[Tracer],
+    workers: int,
 ) -> DFSResult:
+    global _TRACE_TRACER_WARNED
     if tracer is None and trace:
         tracer = Tracer()  # the legacy spelling of "record events"
-    context = RunContext(graph, memory, name, deadline_seconds, tracer)
+    elif tracer is not None and trace and not _TRACE_TRACER_WARNED:
+        # Passing both is almost always a half-finished migration; the
+        # explicit tracer wins, but silently dropping trace=True hides
+        # that.  Warn once per process, like the RunOptions kwargs shim.
+        _TRACE_TRACER_WARNED = True
+        warnings.warn(
+            "trace=True is ignored when an explicit tracer= is given; "
+            "drop the deprecated trace flag",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    context = RunContext(
+        graph, memory, name, deadline_seconds, tracer, workers=workers
+    )
     try:
         tree = initial_star_tree(graph, context.allocator, start)
         limit = (
@@ -230,6 +276,7 @@ def divide_star_dfs(
     deadline_seconds: Optional[float] = None,
     trace: bool = False,
     tracer: Optional[Tracer] = None,
+    workers: int = 1,
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-Star division (Algorithm 3).
 
@@ -239,10 +286,13 @@ def divide_star_dfs(
             ``DFSResult.events``.
         tracer: a :class:`~repro.obs.Tracer` to receive the run's span
             events, metrics, and progress heartbeats.
+        workers: process-pool width for the top-level division's parts
+            (see :mod:`repro.parallel`); ``1`` keeps the sequential loop
+            and is bit-identical to earlier releases.
     """
     return _run(
         graph, memory, star_strategy, "divide-star", start, max_passes,
-        deadline_seconds, trace, tracer,
+        deadline_seconds, trace, tracer, workers,
     )
 
 
@@ -254,6 +304,7 @@ def divide_td_dfs(
     deadline_seconds: Optional[float] = None,
     trace: bool = False,
     tracer: Optional[Tracer] = None,
+    workers: int = 1,
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-TD division (Algorithm 4).
 
@@ -263,8 +314,11 @@ def divide_td_dfs(
             ``DFSResult.events``.
         tracer: a :class:`~repro.obs.Tracer` to receive the run's span
             events, metrics, and progress heartbeats.
+        workers: process-pool width for the top-level division's parts
+            (see :mod:`repro.parallel`); ``1`` keeps the sequential loop
+            and is bit-identical to earlier releases.
     """
     return _run(
         graph, memory, td_strategy, "divide-td", start, max_passes,
-        deadline_seconds, trace, tracer,
+        deadline_seconds, trace, tracer, workers,
     )

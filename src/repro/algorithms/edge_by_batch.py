@@ -86,23 +86,29 @@ def edge_by_batch(
 
     try:
         while True:
+            # The deadline is checked per pass here *and* per batch inside
+            # restructure (check_deadline=): a single pass over a huge edge
+            # file can dwarf the remaining budget, and checking only
+            # between passes would overshoot the limit by a whole scan.
+            # Either raise takes the same checkpoint-on-deadline path.
             try:
                 context.check_deadline()
+                with context.tracer.span(
+                    "restructure", nodes=graph.node_count
+                ) as span:
+                    outcome = restructure(
+                        graph.edge_file, tree, context.budget, stack_device,
+                        check_deadline=context.check_deadline,
+                    )
+                    span.annotate(
+                        edges=graph.edge_file.edge_count,
+                        batches=outcome.batches, update=outcome.update,
+                    )
             except ConvergenceError as exc:
                 if checkpoint_every:
                     take_checkpoint()
                     exc.checkpoint_path = checkpoint_path  # type: ignore[attr-defined]
                 raise
-            with context.tracer.span(
-                "restructure", nodes=graph.node_count
-            ) as span:
-                outcome = restructure(
-                    graph.edge_file, tree, context.budget, stack_device
-                )
-                span.annotate(
-                    edges=graph.edge_file.edge_count,
-                    batches=outcome.batches, update=outcome.update,
-                )
             tree = outcome.tree
             context.passes += 1
             context.bump("batches", outcome.batches)

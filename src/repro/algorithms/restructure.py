@@ -18,7 +18,7 @@ behaviour) must match the paper's procedure, which loads them all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import MemoryBudgetExceeded
 from ..storage.block_device import BlockDevice
@@ -44,6 +44,7 @@ def restructure(
     tree: SpanningTree,
     budget: MemoryBudget,
     stack_device: Optional[BlockDevice] = None,
+    check_deadline: Optional[Callable[[], None]] = None,
 ) -> RestructureOutcome:
     """One batched pass of Algorithm 1's Restructure.
 
@@ -53,6 +54,12 @@ def restructure(
             label ``"tree"``, and the batch is granted the remainder.
         stack_device: forwarded to the in-memory DFS so its node stack can
             spill as an external stack (the SEMI-DFS configuration).
+        check_deadline: optional callback invoked before each batch is
+            flushed (i.e. once per memory-load of edges).  A caller with a
+            wall-clock deadline passes
+            :meth:`~repro.algorithms.base.RunContext.check_deadline` here
+            so a single huge pass cannot overshoot the limit by a whole
+            scan; the callback aborts by raising.
 
     Returns:
         The (possibly replaced) tree plus the pass's update flag and batch
@@ -73,7 +80,8 @@ def restructure(
         dense = kernel.make_index(tree)
         if dense is not None:  # None = ids too sparse; scalar path below
             return _restructure_vectorized(
-                edge_file, tree, batch_capacity, stack_device, kernel, dense
+                edge_file, tree, batch_capacity, stack_device, kernel, dense,
+                check_deadline,
             )
 
     update = False
@@ -89,6 +97,8 @@ def restructure(
         nonlocal batches, rebuilds, update
         if loaded == 0:
             return
+        if check_deadline is not None:
+            check_deadline()
         batches += 1
         if batch_has_forward_cross:
             update = True
@@ -147,6 +157,7 @@ def _restructure_vectorized(
     stack_device: Optional[BlockDevice],
     kernel,
     index,
+    check_deadline: Optional[Callable[[], None]] = None,
 ) -> RestructureOutcome:
     """The same pass, block-at-a-time through the vectorized kernel.
 
@@ -171,6 +182,8 @@ def _restructure_vectorized(
         nonlocal batches, rebuilds, update
         if loaded == 0:
             return
+        if check_deadline is not None:
+            check_deadline()
         batches += 1
         if batch_has_forward_cross:
             update = True

@@ -8,10 +8,17 @@ hundreds digit:
 * ``SEX1xx`` — I/O containment;
 * ``SEX2xx`` — semi-external memory discipline;
 * ``SEX3xx`` — determinism;
-* ``SEX4xx`` — error hygiene.
+* ``SEX4xx`` — error hygiene;
+* ``SEX5xx`` — parallelism containment.
 """
 
-from . import determinism, error_hygiene, io_containment, memory_discipline
+from . import (
+    determinism,
+    error_hygiene,
+    io_containment,
+    memory_discipline,
+    parallelism,
+)
 from .base import (
     META_CODES,
     RULES,
@@ -31,5 +38,6 @@ __all__ = [
     "io_containment",
     "known_codes",
     "memory_discipline",
+    "parallelism",
     "register",
 ]

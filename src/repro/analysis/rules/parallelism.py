@@ -1,0 +1,63 @@
+"""SEX5xx — parallelism containment.
+
+The process-pool part scheduler (:mod:`repro.parallel`) upholds three
+invariants that make ``workers > 1`` safe to reason about: part
+DFS-Trees are reassembled in part order (determinism), every worker's
+measured I/O is absorbed into the parent run's counter (accounting), and
+worker span events are replayed through the parent tracer (exact
+leaf-phase tiling).  An ad-hoc ``ProcessPoolExecutor`` or
+``multiprocessing`` pool anywhere else would sidestep all three — the
+classic way a "parallel speedup" silently stops being the same
+computation.  This rule confines process-spawning imports to the one
+module built to preserve the invariants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .base import RawViolation, Rule, in_parallel_layer, register
+
+#: Top-level modules whose import means "this file may spawn processes".
+_PROCESS_MODULES: Tuple[str, ...] = ("multiprocessing", "concurrent")
+
+
+def _module_root(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+@register
+class ProcessPoolConfinementRule(Rule):
+    """Process-spawning imports outside ``repro/parallel.py``."""
+
+    code = "SEX501"
+    name = "par-pool-outside-scheduler"
+    summary = (
+        "multiprocessing/concurrent.futures imports are confined to "
+        "repro/parallel.py; pooled work elsewhere would bypass part-order "
+        "reassembly, worker I/O absorption, and span replay"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return not in_parallel_layer(relpath)
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _module_root(alias.name) in _PROCESS_MODULES:
+                        yield self.violation(
+                            node,
+                            f"import of {alias.name} outside the parallel "
+                            "scheduler; route pooled work through "
+                            "repro.parallel.conquer_parts",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and _module_root(node.module) in _PROCESS_MODULES:
+                    yield self.violation(
+                        node,
+                        f"import from {node.module} outside the parallel "
+                        "scheduler; route pooled work through "
+                        "repro.parallel.conquer_parts",
+                    )

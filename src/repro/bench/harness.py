@@ -63,6 +63,8 @@ class CellResult:
     kernel: str = "python"
     retries: int = 0  # physical retry attempts (excluded from `ios`)
     faults: int = 0  # injected/observed block faults during the run
+    #: Process-pool width the cell ran with (1 = the sequential part loop).
+    workers: int = 1
     #: Wall-clock seconds per phase (keys from :data:`PHASE_COLUMNS`;
     #: phases the algorithm never entered are absent).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -83,11 +85,14 @@ def run_cell(
     start: Optional[int] = None,
     dnf_seconds: Optional[float] = None,
     block_elements: int = 4096,
+    workers: int = 1,
 ) -> CellResult:
     """Materialize a workload on a fresh device and run one algorithm.
 
     Graph materialization I/O is *not* charged to the cell — the paper's
     datasets pre-exist on disk; measurement starts at the algorithm call.
+    ``workers > 1`` turns on the process-pool part scheduler (divide &
+    conquer algorithms only; see :mod:`repro.parallel`).
     """
     if dnf_seconds is None:
         dnf_seconds = default_dnf_seconds()
@@ -103,7 +108,10 @@ def run_cell(
         try:
             result = semi_external_dfs(
                 graph, memory, algorithm=algorithm, start=start,
-                options=RunOptions(deadline_seconds=dnf_seconds, tracer=tracer),
+                options=RunOptions(
+                    deadline_seconds=dnf_seconds, tracer=tracer,
+                    workers=workers,
+                ),
             )
         except ConvergenceError:
             elapsed = time.perf_counter() - started
@@ -115,6 +123,7 @@ def run_cell(
                 node_count=node_count, edge_count=graph.edge_count, dnf=True,
                 kernel=device.kernel.name,
                 retries=delta.retries, faults=delta.faults,
+                workers=workers,
                 phase_seconds=seconds, phase_ios=ios,
             )
         seconds, ios = _phase_breakdown(result.events)
@@ -125,6 +134,7 @@ def run_cell(
             node_count=node_count, edge_count=graph.edge_count,
             kernel=result.kernel,
             retries=result.io.retries, faults=result.io.faults,
+            workers=workers,
             phase_seconds=seconds, phase_ios=ios,
         )
 

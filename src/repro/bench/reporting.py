@@ -99,7 +99,8 @@ def render_csv(results: Sequence[CellResult]) -> str:
 
     ``ios`` is the logical charge (identical under any survivable fault
     plan); ``retries``/``faults`` report what the resilience layer
-    absorbed.  The trailing ``<phase>_seconds``/``<phase>_ios`` column
+    absorbed; ``workers`` is the process-pool width the cell ran with
+    (1 = sequential).  The trailing ``<phase>_seconds``/``<phase>_ios`` column
     pairs break the run down over the non-overlapping span phases
     (restructure/divide/solve/merge); zero for phases the algorithm
     never entered or when the cell ran untraced.
@@ -109,7 +110,7 @@ def render_csv(results: Sequence[CellResult]) -> str:
     )
     lines = [
         "x,algorithm,time_seconds,ios,passes,divisions,nodes,edges,"
-        f"retries,faults,dnf,kernel,{phase_headers}"
+        f"retries,faults,dnf,kernel,workers,{phase_headers}"
     ]
     for cell in results:
         phases = ",".join(
@@ -121,6 +122,6 @@ def render_csv(results: Sequence[CellResult]) -> str:
             f"{cell.x},{cell.algorithm},{cell.time_seconds:.4f},{cell.ios},"
             f"{cell.passes},{cell.divisions},{cell.node_count},"
             f"{cell.edge_count},{cell.retries},{cell.faults},"
-            f"{int(cell.dnf)},{cell.kernel},{phases}"
+            f"{int(cell.dnf)},{cell.kernel},{cell.workers},{phases}"
         )
     return "\n".join(lines)

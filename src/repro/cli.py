@@ -138,7 +138,7 @@ def _command_dfs(args: argparse.Namespace) -> int:
         try:
             result = semi_external_dfs(
                 graph, memory, algorithm=args.algorithm, start=args.start,
-                options=RunOptions(tracer=tracer),
+                options=RunOptions(tracer=tracer, workers=args.workers),
             )
         finally:
             if trace_sink is not None:
@@ -320,6 +320,9 @@ def build_parser() -> argparse.ArgumentParser:
     dfs.add_argument("--algorithm", default="divide-td",
                      choices=sorted(ALGORITHMS))
     dfs.add_argument("--start", type=int, default=None)
+    dfs.add_argument("--workers", type=int, default=1,
+                     help="process-pool width for the top-level division's "
+                          "parts (divide & conquer only; 1 = sequential)")
     dfs.add_argument("--verify", action="store_true",
                      help="scan the edge file to certify the DFS-Tree")
     dfs.add_argument("--output", help="write the DFS order here")
@@ -371,7 +374,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
+        # ValueError covers configuration mistakes surfaced by the typed
+        # options layer (e.g. --workers with an algorithm that does not
+        # support it); both deserve a clean error line, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

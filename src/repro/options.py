@@ -37,6 +37,10 @@ class RunOptions:
             baseline only).
         tracer: a :class:`repro.obs.Tracer` to receive span events,
             metrics, and progress heartbeats for this run.
+        workers: process-pool width for the top-level division's parts
+            (divide & conquer only; see :mod:`repro.parallel`).  The
+            default ``1`` keeps the sequential part loop and is
+            bit-identical to earlier releases.
 
     Fields left at their defaults are never forwarded, so a default
     value an algorithm does not understand (e.g. ``use_external_stack``
@@ -51,6 +55,7 @@ class RunOptions:
     checkpoint_every: Optional[int] = None
     initial_tree: Optional["SpanningTree"] = None
     tracer: Optional["Tracer"] = None
+    workers: int = 1
 
     def replace(self, **changes: object) -> "RunOptions":
         """A copy with the given fields changed (frozen-safe update)."""
@@ -70,7 +75,9 @@ class RunOptions:
         """
         kwargs: Dict[str, object] = {}
         for name, value, default in self._items():
-            if isinstance(default, bool):
+            if isinstance(default, (bool, int)):
+                # value comparison: small ints (workers=1) are not
+                # guaranteed to be interned, so identity is unreliable
                 unchanged = value == default
             else:
                 unchanged = value is default

@@ -71,14 +71,32 @@ class MemoryBudget:
         self._charges[label] = self._charges.get(label, 0) + amount
 
     def set_charge(self, label: str, amount: int) -> None:
-        """Replace the charge under ``label`` with ``amount``."""
+        """Replace the charge under ``label`` with ``amount``.
+
+        The new amount competes only with what *other* labels hold — the
+        label's own current charge is released by the replacement — so
+        the check (and the error message) compare ``amount`` against
+        ``capacity - used_elsewhere``:
+
+        >>> budget = MemoryBudget(10)
+        >>> budget.charge("tree", 6)
+        >>> budget.set_charge("tree", 9)   # 9 <= 10 - 0 used elsewhere
+        >>> budget.charged("tree")
+        9
+        >>> budget.charge("batch", 1)
+        >>> budget.set_charge("tree", 10)  # 10 > 10 - 1 used elsewhere
+        Traceback (most recent call last):
+            ...
+        repro.errors.MemoryBudgetExceeded: setting 'tree' to 10 elements exceeds budget: 1/10 used elsewhere
+        """
         if amount < 0:
             raise ValueError("charge amount must be non-negative")
         current = self._charges.get(label, 0)
-        if amount - current > self.available:
+        used_elsewhere = self.used - current
+        if amount > self.capacity - used_elsewhere:
             raise MemoryBudgetExceeded(
                 f"setting {label!r} to {amount} elements exceeds budget: "
-                f"{self.used - current}/{self.capacity} used elsewhere"
+                f"{used_elsewhere}/{self.capacity} used elsewhere"
             )
         if amount == 0:
             self._charges.pop(label, None)

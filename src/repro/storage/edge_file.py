@@ -43,6 +43,40 @@ class EdgeFile:
         self.edge_count = 0
         self.block_count = 0
 
+    @classmethod
+    def open_sealed(
+        cls,
+        device: BlockDevice,
+        path: str,
+        edge_count: int,
+        block_count: int,
+    ) -> "EdgeFile":
+        """Adopt an already-sealed edge file written elsewhere.
+
+        The normal constructor truncates ``path`` for writing; a pool
+        worker instead *adopts* the sealed part file the parent process
+        materialized, re-binding it to the worker's own device so every
+        scan charges the worker's :class:`~repro.storage.io_stats.IOStats`.
+        The caller supplies the counts the writer recorded — the file is
+        never rescanned just to rediscover them.
+        """
+        if not os.path.exists(path):
+            raise StorageError(f"cannot adopt edge file {path}: no such file")
+        if edge_count < 0 or block_count < 0:
+            raise StorageError("adopted edge/block counts must be non-negative")
+        adopted = cls.__new__(cls)
+        adopted.device = device
+        adopted.path = path
+        adopted._write_buffer = []
+        handle = open(path, "rb")
+        handle.close()
+        adopted._handle = handle
+        adopted._sealed = True
+        adopted._deleted = False
+        adopted.edge_count = edge_count
+        adopted.block_count = block_count
+        return adopted
+
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------

@@ -111,6 +111,25 @@ class TestRecursion:
             assert result.order[0] == 42
 
 
+class TestDeadline:
+    @pytest.mark.parametrize("algorithm", [divide_star_dfs, divide_td_dfs])
+    def test_deadline_interrupts_the_base_case(self, device, algorithm):
+        # the whole graph fits in memory, so the run never enters the
+        # restructure loop: only the base case's own check can notice the
+        # expired budget (a division can funnel hundreds of in-memory
+        # solves through here, each unmetered without it)
+        graph = random_graph(60, 3, seed=21)
+        disk = DiskGraph.from_digraph(device, graph)
+        with pytest.raises(ConvergenceError, match="deadline"):
+            algorithm(disk, memory=disk.size + 10, deadline_seconds=0.0)
+
+    def test_no_deadline_means_no_interruption(self, device):
+        graph = random_graph(60, 3, seed=21)
+        disk = DiskGraph.from_digraph(device, graph)
+        result = divide_td_dfs(disk, memory=disk.size + 10)
+        assert_valid_dfs_result(result, disk, graph)
+
+
 class TestDeterminism:
     def test_same_input_same_output(self, device_factory):
         graph = power_law_graph(300, 4, seed=13)

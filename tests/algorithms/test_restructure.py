@@ -93,3 +93,45 @@ class TestSinglePass:
         final = restructure(tree_only.edge_file, outcome.tree, budget)
         assert not final.update
         assert final.rebuilds == 0
+
+
+class TestPerBatchDeadline:
+    """The check_deadline callback must be able to abort a pass mid-scan."""
+
+    def test_callback_fires_once_per_batch(self, device):
+        graph = random_graph(200, 4, seed=8)
+        # a tight budget forces many small batches within the single pass
+        disk, tree, budget = setup_run(device, graph, 3 * 200 + 60)
+        calls = []
+        restructure(
+            disk.edge_file, tree, budget,
+            check_deadline=lambda: calls.append(None),
+        )
+        outcome_calls = len(calls)
+        assert outcome_calls >= 2  # the pass genuinely ran in batches
+
+    def test_raising_callback_aborts_the_pass(self, device):
+        from repro.errors import ConvergenceError
+
+        graph = random_graph(200, 4, seed=8)
+        disk, tree, budget = setup_run(device, graph, 3 * 200 + 60)
+        calls = []
+
+        def expire_after_two():
+            calls.append(None)
+            if len(calls) >= 2:
+                raise ConvergenceError("wall-clock deadline expired mid-pass")
+
+        before = device.stats.snapshot()
+        try:
+            restructure(
+                disk.edge_file, tree, budget, check_deadline=expire_after_two
+            )
+            raised = False
+        except ConvergenceError:
+            raised = True
+        assert raised
+        assert len(calls) == 2  # aborted at the second batch, not at the end
+        # the aborted pass stopped reading: strictly fewer blocks than a scan
+        delta = device.stats.snapshot() - before
+        assert delta.reads < disk.edge_file.block_count

@@ -80,3 +80,19 @@ class TestCheckpointResume:
         disk = DiskGraph.from_digraph(device, graph)
         result = edge_by_batch(disk, 3 * 150 + 150)
         assert "checkpoint" not in result.details
+
+    def test_deadline_raise_takes_the_checkpoint_path(self, device):
+        # an already-expired deadline aborts before the first pass ends
+        # (per-pass check, plus per-batch via restructure's check_deadline);
+        # with checkpointing on, the abort still writes a resumable tree
+        graph = power_law_graph(200, 4, seed=8)
+        disk = DiskGraph.from_digraph(device, graph)
+        with pytest.raises(ConvergenceError, match="deadline") as exc_info:
+            edge_by_batch(
+                disk, 3 * 200 + 150, deadline_seconds=0.0, checkpoint_every=1,
+            )
+        path = exc_info.value.checkpoint_path
+        assert path
+        restored = load_tree(device, path)
+        resumed = edge_by_batch(disk, 3 * 200 + 150, initial_tree=restored)
+        assert verify_dfs_tree(disk, resumed.tree).ok

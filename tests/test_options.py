@@ -71,8 +71,26 @@ class TestRunOptions:
     def test_option_names_match_the_dataclass(self):
         assert OPTION_NAMES == {
             "max_passes", "deadline_seconds", "use_external_stack", "order",
-            "checkpoint_every", "initial_tree", "tracer",
+            "checkpoint_every", "initial_tree", "tracer", "workers",
         }
+
+    def test_default_workers_not_forwarded(self):
+        # workers defaults to 1; edge-by-batch does not accept it, but
+        # leaving it at the default must not raise (int fields compare by
+        # value, not identity — small ints may or may not be interned).
+        assert RunOptions(workers=1).to_kwargs(BASE_OPTIONS, "edge-by-batch") == {}
+
+    def test_explicit_workers_forwarded_to_divide_algorithms(self):
+        from repro.api import DIVIDE_OPTIONS
+
+        kwargs = RunOptions(workers=3).to_kwargs(DIVIDE_OPTIONS, "divide-td")
+        assert kwargs == {"workers": 3}
+
+    def test_workers_unsupported_by_batch_baseline(self):
+        from repro.api import BATCH_OPTIONS
+
+        with pytest.raises(ValueError, match="'workers'"):
+            RunOptions(workers=2).to_kwargs(BATCH_OPTIONS, "edge-by-batch")
 
     def test_typo_is_a_construction_error(self):
         with pytest.raises(TypeError):
@@ -144,6 +162,38 @@ class TestFacadeOptions:
             options=RunOptions(tracer=tracer), max_passes=200,
         )
         assert result.events
+
+
+class TestTraceNextToTracer:
+    def test_trace_with_explicit_tracer_warns_once(self, disk, monkeypatch):
+        import repro.algorithms.divide_conquer as dc
+
+        monkeypatch.setattr(dc, "_TRACE_TRACER_WARNED", False)
+        tracer = Tracer()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(2):
+                dc.divide_td_dfs(
+                    disk, memory=3 * 50 + 90, trace=True, tracer=tracer,
+                )
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "trace=True is ignored" in str(w.message)
+        ]
+        assert len(deprecations) == 1
+
+    def test_trace_alone_still_silent(self, disk, monkeypatch):
+        import repro.algorithms.divide_conquer as dc
+
+        monkeypatch.setattr(dc, "_TRACE_TRACER_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = dc.divide_td_dfs(disk, memory=3 * 50 + 90, trace=True)
+        assert result.events  # legacy flag still records events
+        assert not any(
+            "trace=True is ignored" in str(w.message) for w in caught
+        )
 
 
 class TestDeprecatedTraceAttribute:
