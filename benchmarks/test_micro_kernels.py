@@ -112,6 +112,29 @@ def kernel_ops(backend: str, load: _ChainForestWorkload):
     return classify, pack, unpack
 
 
+def division_ops(backend: str, load: _ChainForestWorkload):
+    """(collect_cross, route) closures — the division-scan hot ops."""
+    kernel = resolve_kernel(backend)
+    u_col, v_col = kernel.unpack_edge_columns(load.data)
+    index = kernel.make_index(load.tree)
+    assert index is not None
+    # one part per chain: the shape a real division's owner map has
+    owner = {
+        node: node % _ChainForestWorkload.CHAINS + 1
+        for node in range(load.node_count)
+    }
+    owner_index = kernel.make_owner_index(owner)
+    assert owner_index is not None
+
+    def collect_cross():
+        return kernel.collect_cross_edges(index, u_col, v_col)
+
+    def route():
+        return kernel.route_edges(owner_index, u_col, v_col)
+
+    return collect_cross, route
+
+
 def test_kernel_speedup_trajectory(report_text):
     """Measure python vs numpy kernels, persist BENCH_micro_kernels.json."""
     load = workload(BLOCK_EDGES)
@@ -124,17 +147,20 @@ def test_kernel_speedup_trajectory(report_text):
     timings: Dict[str, Dict[str, float]] = {}
     for backend in available_backends():
         classify, pack, unpack = kernel_ops(backend, load)
+        collect_cross, route = division_ops(backend, load)
         timings[backend] = {
             "classify_s": best_of(classify),
             "pack_s": best_of(pack),
             "unpack_s": best_of(unpack),
+            "collect_cross_s": best_of(collect_cross),
+            "route_s": best_of(route),
         }
     # reference: the row-at-a-time struct codec the columns replace
     timings["rows"] = {
         "pack_s": best_of(lambda: pack_edges(load.edges)),
         "unpack_s": best_of(lambda: unpack_edges(load.data)),
     }
-    for operation in ("classify", "pack", "unpack"):
+    for operation in ("classify", "pack", "unpack", "collect_cross", "route"):
         entry: Dict[str, float] = {}
         for backend, values in timings.items():
             if f"{operation}_s" in values:
@@ -158,7 +184,7 @@ def test_kernel_speedup_trajectory(report_text):
         speedup = (
             f"  speedup={entry['speedup']:.1f}x" if "speedup" in entry else ""
         )
-        lines.append(f"  {operation:>8s}: {cells}{speedup}")
+        lines.append(f"  {operation:>13s}: {cells}{speedup}")
     report_text("micro_kernels", "\n".join(lines))
 
     if numpy_available():
@@ -190,3 +216,19 @@ def test_unpack_columns(benchmark, backend):
     _, _, unpack = kernel_ops(backend, load)
     u_col, _ = benchmark(unpack)
     assert len(u_col) == SMOKE_EDGES
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_collect_cross_edges(benchmark, backend):
+    collect_cross, _ = division_ops(backend, workload(SMOKE_EDGES))
+    crossing = benchmark(collect_cross)
+    assert 0 < len(crossing) < SMOKE_EDGES
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_route_edges(benchmark, backend):
+    _, route = division_ops(backend, workload(SMOKE_EDGES))
+    routed = benchmark(route)
+    # cross-chain edges (~5%) straddle parts and are dropped by routing
+    kept = sum(len(u_col) for _, u_col, _ in routed)
+    assert SMOKE_EDGES // 2 < kept < SMOKE_EDGES

@@ -47,6 +47,9 @@ class DFSResult:
         kernel: name of the columnar kernel backend the run executed on
             (``python`` or ``numpy``); benchmarks record it so a result
             is attributable to a code path.
+        block_codec: edge-block codec the run wrote files with
+            (``fixed32`` or ``delta-varint``); like :attr:`kernel`, it
+            changes costs only, never the tree, and benchmarks record it.
         details: free-form per-algorithm counters.
         events: the run's completed :class:`~repro.obs.SpanEvent` records
             (populated when the run was given a real
@@ -64,6 +67,7 @@ class DFSResult:
     divisions: int = 0
     max_depth: int = 0
     kernel: str = "python"
+    block_codec: str = "fixed32"
     details: Dict[str, int] = field(default_factory=dict)
     events: List[SpanEvent] = field(default_factory=list)
 
@@ -101,6 +105,11 @@ class DFSResult:
         """Block-level faults injected/observed during the run."""
         return self.io.faults
 
+    @property
+    def compression_ratio(self) -> float:
+        """Raw-over-stored edge bytes moved by the run (1.0 = no gain)."""
+        return self.io.compression_ratio
+
     def position_of(self) -> Dict[int, int]:
         """Map node -> position in the DFS total order."""
         return {node: index for index, node in enumerate(self.order)}
@@ -127,6 +136,7 @@ class RunContext:
         deadline_seconds: Optional[float] = None,
         tracer: Optional[Tracer] = None,
         workers: int = 1,
+        block_codec: Optional[str] = None,
     ) -> None:
         minimum = TREE_NODE_COST * graph.node_count
         if memory < minimum:
@@ -152,6 +162,17 @@ class RunContext:
         self.tracer.bind(graph.device.stats)
         self._prior_device_tracer = graph.device.tracer
         graph.device.tracer = self.tracer
+        # Install the run's codec on the device (mirroring the tracer
+        # slot): files written during the run — part files, sort runs,
+        # rewrites — use it, and release() restores the prior setting.
+        # ``None`` keeps whatever the device was configured with.
+        self._prior_device_codec = graph.device.block_codec
+        if block_codec is not None:
+            from ..storage.serialization import resolve_block_codec
+
+            graph.device.block_codec = resolve_block_codec(block_codec)
+        #: The codec in effect for this run (for :attr:`DFSResult.block_codec`).
+        self.block_codec = graph.device.block_codec
         self._released = False
         self._start_io = graph.device.stats.snapshot()
         # repro: allow[SEX302] observational timing metric; never feeds tree construction
@@ -203,6 +224,7 @@ class RunContext:
             return
         self._released = True
         self.graph.device.tracer = self._prior_device_tracer
+        self.graph.device.block_codec = self._prior_device_codec
         self.tracer.detach(self._events)
         self.tracer.bind(None)
 
@@ -223,6 +245,7 @@ class RunContext:
             divisions=self.divisions,
             max_depth=self.max_depth,
             kernel=self.graph.device.kernel.name,
+            block_codec=self.block_codec,
             details=dict(self.details),
             events=events,
         )

@@ -58,14 +58,18 @@ def _solve_in_memory(
 ) -> SpanningTree:
     """Base case: ``|G_i| <= M`` — load the edges and DFS once in memory."""
     extra: Dict[int, List[int]] = {}
-    for u, v in edge_file.scan():
-        if u == v:
-            continue
-        targets = extra.get(u)
-        if targets is None:
-            extra[u] = [v]
-        else:
-            targets.append(v)
+    for u_col, v_col in edge_file.scan_columns():
+        # tolist() re-materializes backend columns (numpy ndarray or
+        # stdlib array) as plain python ints in one call, keeping foreign
+        # int types out of the adjacency dict and the tree.
+        for u, v in zip(u_col.tolist(), v_col.tolist()):
+            if u == v:
+                continue
+            targets = extra.get(u)
+            if targets is None:
+                extra[u] = [v]
+            else:
+                targets.append(v)
     context.bump("inmemory_solves")
     return dfs_preferring_tree(tree, extra)
 
@@ -94,6 +98,8 @@ def _divide_conquer(
         with context.tracer.span(
             "solve", depth=depth, nodes=real_node_count,
             edges=edge_file.edge_count,
+            kernel=edge_file.device.kernel.name,
+            codec=edge_file.device.block_codec,
         ):
             result = _solve_in_memory(edge_file, tree, context)
         if owns_file:
@@ -109,7 +115,9 @@ def _divide_conquer(
     while division is None:
         context.check_deadline()
         with context.tracer.span(
-            "restructure", depth=depth, nodes=real_node_count
+            "restructure", depth=depth, nodes=real_node_count,
+            kernel=edge_file.device.kernel.name,
+            codec=edge_file.device.block_codec,
         ) as restructure_span:
             outcome = restructure(edge_file, tree, budget)
             restructure_span.annotate(
@@ -228,6 +236,7 @@ def _run(
     trace: bool,
     tracer: Optional[Tracer],
     workers: int,
+    block_codec: Optional[str],
 ) -> DFSResult:
     global _TRACE_TRACER_WARNED
     if tracer is None and trace:
@@ -244,7 +253,8 @@ def _run(
             stacklevel=3,
         )
     context = RunContext(
-        graph, memory, name, deadline_seconds, tracer, workers=workers
+        graph, memory, name, deadline_seconds, tracer, workers=workers,
+        block_codec=block_codec,
     )
     try:
         tree = initial_star_tree(graph, context.allocator, start)
@@ -277,6 +287,7 @@ def divide_star_dfs(
     trace: bool = False,
     tracer: Optional[Tracer] = None,
     workers: int = 1,
+    block_codec: Optional[str] = None,
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-Star division (Algorithm 3).
 
@@ -289,10 +300,13 @@ def divide_star_dfs(
         workers: process-pool width for the top-level division's parts
             (see :mod:`repro.parallel`); ``1`` keeps the sequential loop
             and is bit-identical to earlier releases.
+        block_codec: edge-block codec for files written during the run
+            (``"fixed32"`` / ``"delta-varint"``; default: the device's
+            setting).  Changes block counts only, never the DFS tree.
     """
     return _run(
         graph, memory, star_strategy, "divide-star", start, max_passes,
-        deadline_seconds, trace, tracer, workers,
+        deadline_seconds, trace, tracer, workers, block_codec,
     )
 
 
@@ -305,6 +319,7 @@ def divide_td_dfs(
     trace: bool = False,
     tracer: Optional[Tracer] = None,
     workers: int = 1,
+    block_codec: Optional[str] = None,
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-TD division (Algorithm 4).
 
@@ -317,8 +332,11 @@ def divide_td_dfs(
         workers: process-pool width for the top-level division's parts
             (see :mod:`repro.parallel`); ``1`` keeps the sequential loop
             and is bit-identical to earlier releases.
+        block_codec: edge-block codec for files written during the run
+            (``"fixed32"`` / ``"delta-varint"``; default: the device's
+            setting).  Changes block counts only, never the DFS tree.
     """
     return _run(
         graph, memory, td_strategy, "divide-td", start, max_passes,
-        deadline_seconds, trace, tracer, workers,
+        deadline_seconds, trace, tracer, workers, block_codec,
     )

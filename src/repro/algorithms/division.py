@@ -20,12 +20,14 @@ failed attempt costs one scan, not two.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..kernels import resolve_kernel
 from ..obs import NULL_TRACER, Tracer
 from ..storage.edge_file import EdgeFile, PartitionWriter
-from ..core.classify import EdgeType, IntervalIndex
+from ..core.classify import IntervalIndex
 from ..core.tree import SpanningTree, VirtualNodeAllocator
 from .sgraph import SummaryGraph, contract_sigma_sccs, s_edge_endpoints
 
@@ -136,26 +138,40 @@ def divide_with_cut(
     if len(cut_nodes) <= 1 or not expanded:
         return None
     index = IntervalIndex(tree)
+    device = edge_file.device
+
+    # Columnar kernel for both scans.  The device's kernel may decline a
+    # sparse id set (a dense numpy index would be mostly holes); the
+    # python kernel never declines, so it is the universal fallback —
+    # `convert` marks that scanned columns need re-materializing in the
+    # fallback backend's native column type (which also normalizes the
+    # endpoints back to plain python ints).
+    cross_kernel = device.kernel
+    classifier = cross_kernel.make_index(tree)
+    if classifier is None:
+        cross_kernel = resolve_kernel("python")
+        classifier = cross_kernel.make_index(tree)
+    convert = cross_kernel is not device.kernel
 
     # Step 1: one scan collecting S-edges whose LCA is an expanded cut node.
     sigma = SummaryGraph()
     with tracer.span(
-        "sgraph", edges=edge_file.edge_count, cut_nodes=len(cut_nodes)
+        "sgraph", edges=edge_file.edge_count, cut_nodes=len(cut_nodes),
+        kernel=cross_kernel.name, codec=device.block_codec,
     ) as sgraph_span:
         for node in cut_nodes:
             sigma.add_node(node)
         for parent_node in expanded:
             for child in tree.children(parent_node):
                 sigma.add_edge(parent_node, child)
-        for u, v in edge_file.scan():
-            if u == v:
-                continue
-            kind = index.classify(u, v)
-            if kind is not EdgeType.FORWARD_CROSS and kind is not EdgeType.BACKWARD_CROSS:
-                continue
-            a, b, lca = s_edge_endpoints(tree, index, u, v)
-            if lca in expanded:
-                sigma.add_edge(a, b)
+        collect = cross_kernel.collect_cross_edges
+        for u_col, v_col in edge_file.scan_columns():
+            if convert:
+                u_col, v_col = cross_kernel.make_columns(u_col, v_col)
+            for u, v in collect(classifier, u_col, v_col):
+                a, b, lca = s_edge_endpoints(tree, index, u, v)
+                if lca in expanded:
+                    sigma.add_edge(a, b)
         sgraph_span.annotate(s_edges=sigma.edge_count)
 
     # Before mutating anything, simulate the part count the contraction
@@ -176,9 +192,9 @@ def divide_with_cut(
     root = tree.root
     t0.add_node(root, virtual=tree.is_virtual(root))
     t0.root = root
-    queue = [root]
+    queue = deque([root])
     while queue:
-        node = queue.pop(0)
+        node = queue.popleft()
         if node in new_virtuals:
             continue  # a contracted SCC cannot be divided at this level
         if node != root and node not in expanded:
@@ -194,19 +210,32 @@ def divide_with_cut(
     if len(leaves) <= 1:
         return None
 
-    # Step 4: owner map + one routing scan into the part files.
-    with tracer.span("partition", parts=len(leaves)):
+    # Step 4: owner map + one columnar routing scan into the part files.
+    with tracer.span(
+        "partition", parts=len(leaves), codec=device.block_codec
+    ) as partition_span:
         owner: Dict[int, int] = {}
         part_meta: List[Tuple[int, int]] = []  # (index, root)
         for part_index, leaf in enumerate(leaves, start=1):
             part_meta.append((part_index, leaf))
             for node in tree.preorder(start=leaf):
                 owner[node] = part_index
-        writer = PartitionWriter(edge_file.device, [i for i, _ in part_meta])
-        for u, v in edge_file.scan():
-            part_u = owner.get(u)
-            if part_u is not None and part_u == owner.get(v):
-                writer.route(part_u, u, v)
+        route_kernel = device.kernel
+        owner_index = route_kernel.make_owner_index(owner)
+        if owner_index is None:  # dense routing index declined: dict path
+            route_kernel = resolve_kernel("python")
+            owner_index = route_kernel.make_owner_index(owner)
+        route_convert = route_kernel is not device.kernel
+        partition_span.annotate(kernel=route_kernel.name)
+        writer = PartitionWriter(device, [i for i, _ in part_meta])
+        route = route_kernel.route_edges
+        for u_col, v_col in edge_file.scan_columns():
+            if route_convert:
+                u_col, v_col = route_kernel.make_columns(u_col, v_col)
+            for part_key, part_u_col, part_v_col in route(
+                owner_index, u_col, v_col
+            ):
+                writer.route_columns(part_key, part_u_col, part_v_col)
         part_files = writer.seal()
 
     parts: List[Part] = []

@@ -30,6 +30,7 @@ def edge_by_batch(
     checkpoint_every: Optional[int] = None,
     initial_tree: Optional[SpanningTree] = None,
     tracer: Optional[Tracer] = None,
+    block_codec: Optional[str] = None,
 ) -> DFSResult:
     """Compute a DFS-Tree with the SEMI-DFS batch heuristic.
 
@@ -61,7 +62,10 @@ def edge_by_batch(
         ConvergenceError: if the heuristic exceeds ``max_passes`` or the
             deadline.
     """
-    context = RunContext(graph, memory, "edge-by-batch", deadline_seconds, tracer)
+    context = RunContext(
+        graph, memory, "edge-by-batch", deadline_seconds, tracer,
+        block_codec=block_codec,
+    )
     context.budget.charge("tree", context.budget.tree_charge(graph.node_count))
     if initial_tree is not None:
         if start is not None or order is not None:

@@ -10,6 +10,11 @@ DFS-Tree of the whole graph is assembled without touching the edge file:
 2. graft each part's DFS-Tree at its leaf of ``T_0``;
 3. splice out the virtual contraction nodes (children promoted in place,
    Algorithm 5 lines 6–10).
+
+Merge is tree-only by construction: it performs zero edge-file I/O (and
+therefore has no row-at-a-time scan to vectorize) — every per-edge cost
+of a division was already paid by the columnar kernels in
+:mod:`repro.algorithms.division`.
 """
 
 from __future__ import annotations

@@ -32,6 +32,18 @@ _ATTRIBUTE_IO_METHODS: Tuple[str, ...] = (
     "read_bytes", "read_text", "write_bytes", "write_text", "open",
 )
 
+#: Codec machinery private to ``repro/storage/serialization.py``: frame
+#: layout, block-codec tags and the encode/decode entry points.  Callers
+#: outside the storage layer must stay wire-format agnostic — EdgeFile
+#: dispatches on the codec tag — so new codecs never require touching
+#: algorithm code.  ``resolve_block_codec`` / ``BLOCK_CODECS`` /
+#: ``pack_ints`` / ``unpack_ints`` stay public by design.
+_CODEC_INTERNAL_NAMES: Tuple[str, ...] = (
+    "frame_block", "parse_frame_header", "verify_frame_payload",
+    "classify_edge_block", "decode_varint_columns", "decode_edge_block",
+    "DeltaVarintBlockEncoder", "CODEC_TAG_FIXED32", "CODEC_TAG_DELTA_VARINT",
+)
+
 
 class _StorageScopedRule(Rule):
     """Shared scope: everywhere except the storage layer allow-list."""
@@ -142,3 +154,40 @@ class AttributeIoRule(_StorageScopedRule):
                 f".{node.func.attr}() performs raw file I/O outside the "
                 "storage layer",
             )
+
+
+@register
+class CodecInternalsRule(_StorageScopedRule):
+    """Block-codec internals must not leak past ``repro/storage/``."""
+
+    code = "SEX105"
+    name = "codec-internals-outside-storage"
+    summary = (
+        "block frame/codec internals (frame_block, classify_edge_block, "
+        "DeltaVarintBlockEncoder, codec tags, ...) are confined to the "
+        "storage layer; read edges through EdgeFile scans so the wire "
+        "format stays swappable"
+    )
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.ImportFrom):
+                if not (node.module or "").endswith("serialization"):
+                    continue
+                for alias in node.names:
+                    if alias.name in _CODEC_INTERNAL_NAMES:
+                        yield self.violation(
+                            node,
+                            f"import of codec-internal {alias.name!r} outside "
+                            "the storage layer couples the caller to the "
+                            "block wire format",
+                        )
+            elif isinstance(node, ast.Attribute) and \
+                    node.attr in _CODEC_INTERNAL_NAMES and \
+                    isinstance(node.value, ast.Name) and \
+                    node.value.id == "serialization":
+                yield self.violation(
+                    node,
+                    f"serialization.{node.attr} outside the storage layer "
+                    "couples the caller to the block wire format",
+                )

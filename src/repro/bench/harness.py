@@ -65,6 +65,13 @@ class CellResult:
     faults: int = 0  # injected/observed block faults during the run
     #: Process-pool width the cell ran with (1 = the sequential part loop).
     workers: int = 1
+    #: Edge-block codec the cell's device wrote with.
+    codec: str = "fixed32"
+    #: Raw/stored edge-byte ratio over the run (1.0 under ``fixed32``).
+    compression_ratio: float = 1.0
+    #: Sealed blocks in the cell's input edge file — the block reads one
+    #: full scan costs (``ceil(m/B)`` under fixed32, fewer compressed).
+    blocks_per_scan: int = 0
     #: Wall-clock seconds per phase (keys from :data:`PHASE_COLUMNS`;
     #: phases the algorithm never entered are absent).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -86,17 +93,22 @@ def run_cell(
     dnf_seconds: Optional[float] = None,
     block_elements: int = 4096,
     workers: int = 1,
+    block_codec: Optional[str] = None,
 ) -> CellResult:
     """Materialize a workload on a fresh device and run one algorithm.
 
     Graph materialization I/O is *not* charged to the cell — the paper's
     datasets pre-exist on disk; measurement starts at the algorithm call.
     ``workers > 1`` turns on the process-pool part scheduler (divide &
-    conquer algorithms only; see :mod:`repro.parallel`).
+    conquer algorithms only; see :mod:`repro.parallel`).  ``block_codec``
+    selects the edge-block write codec for the whole cell, input
+    materialization included (``None``: ``$REPRO_BLOCK_CODEC``/fixed32).
     """
     if dnf_seconds is None:
         dnf_seconds = default_dnf_seconds()
-    with BlockDevice(block_elements=block_elements) as device:
+    with BlockDevice(
+        block_elements=block_elements, block_codec=block_codec
+    ) as device:
         graph = DiskGraph.from_edges(device, node_count, edges, validate=False)
         started = time.perf_counter()
         before = device.stats.snapshot()
@@ -124,6 +136,9 @@ def run_cell(
                 kernel=device.kernel.name,
                 retries=delta.retries, faults=delta.faults,
                 workers=workers,
+                codec=device.block_codec,
+                compression_ratio=delta.compression_ratio,
+                blocks_per_scan=graph.edge_file.block_count,
                 phase_seconds=seconds, phase_ios=ios,
             )
         seconds, ios = _phase_breakdown(result.events)
@@ -135,6 +150,9 @@ def run_cell(
             kernel=result.kernel,
             retries=result.io.retries, faults=result.io.faults,
             workers=workers,
+            codec=result.block_codec,
+            compression_ratio=result.compression_ratio,
+            blocks_per_scan=graph.edge_file.block_count,
             phase_seconds=seconds, phase_ios=ios,
         )
 

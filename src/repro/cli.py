@@ -60,6 +60,11 @@ def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
         help="columnar kernel backend (default: $REPRO_KERNEL, then auto)",
     )
     parser.add_argument(
+        "--block-codec", choices=["fixed32", "delta-varint"], default=None,
+        help="edge-block payload codec for files written during the run "
+             "(default: $REPRO_BLOCK_CODEC, then fixed32)",
+    )
+    parser.add_argument(
         "--fault-seed", type=int, default=None,
         help="inject seeded transient disk faults (replayable; default: "
              f"${FAULT_SEED_ENV_VAR} when set, else no faults)",
@@ -127,7 +132,8 @@ def _command_dfs(args: argparse.Namespace) -> int:
             trace_sink = JSONLSink(args.trace_out)
             tracer.attach(trace_sink)
     with BlockDevice(
-        block_elements=args.block_size, kernel=args.kernel, fault_plan=fault_plan
+        block_elements=args.block_size, kernel=args.kernel,
+        fault_plan=fault_plan, block_codec=args.block_codec,
     ) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
@@ -197,7 +203,10 @@ def _command_compare(args: argparse.Namespace) -> int:
         for spec in ALGORITHMS.specs()
         if not spec.slow or args.include_edge_by_edge
     ]
-    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
+    with BlockDevice(
+        block_elements=args.block_size, kernel=args.kernel,
+        block_codec=args.block_codec,
+    ) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         print(
@@ -224,7 +233,10 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 
 def _command_toposort(args: argparse.Namespace) -> int:
-    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
+    with BlockDevice(
+        block_elements=args.block_size, kernel=args.kernel,
+        block_codec=args.block_codec,
+    ) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         order = topological_order(graph, memory, algorithm=args.algorithm)
@@ -240,7 +252,10 @@ def _command_toposort(args: argparse.Namespace) -> int:
 
 
 def _command_scc(args: argparse.Namespace) -> int:
-    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
+    with BlockDevice(
+        block_elements=args.block_size, kernel=args.kernel,
+        block_codec=args.block_codec,
+    ) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
         components = strongly_connected_components(graph, memory)
@@ -270,7 +285,10 @@ _EXPERIMENTS = {
 def _command_planarity(args: argparse.Namespace) -> int:
     from .apps import check_planarity
 
-    with BlockDevice(block_elements=args.block_size, kernel=args.kernel) as device:
+    with BlockDevice(
+        block_elements=args.block_size, kernel=args.kernel,
+        block_codec=args.block_codec,
+    ) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         report = check_planarity(graph)
         verdict = "planar" if report.planar else "NOT planar"

@@ -1,9 +1,11 @@
 """Backend registry and selection for the columnar kernel layer.
 
-A *kernel* bundles the three per-edge hot operations every restructure
-pass performs millions of times — unpacking a disk block into columns,
-packing columns back to bytes, and classifying a block of edges against
-the in-memory spanning tree.  Two backends exist:
+A *kernel* bundles the per-edge hot operations the restructure and
+division passes perform millions of times — unpacking a disk block into
+columns, packing columns back to bytes, classifying a block of edges
+against the in-memory spanning tree, collecting a block's cross (S-)
+edges, and routing a block's edges to their owning parts.  Two backends
+exist:
 
 * ``python`` — always available; stdlib-``array`` columns, scalar
   classification (the seed implementation's semantics, verbatim);
@@ -72,6 +74,39 @@ class Kernel(Protocol):
         capacity: int,
     ) -> ClassifiedSlice:
         """Classify ``(u_col, v_col)[start:]`` until ``capacity`` edges load."""
+
+    def make_columns(self, u_values: Any, v_values: Any) -> Tuple[Any, Any]:
+        """Build backend-native ``(u, v)`` columns from plain int sequences."""
+
+    def collect_cross_edges(
+        self, index: Any, u_col: Any, v_col: Any
+    ) -> List[Tuple[int, int]]:
+        """Emit a block's forward-/backward-cross edges, as python-int
+        pairs in scan order.
+
+        The columnar S-edge primitive of the division step: tree edges,
+        forward (ancestor→descendant) edges, backward (descendant→ancestor)
+        edges and self-loops all vanish inside the interval tests; only
+        edges that cross subtrees survive.  ``index`` is whatever
+        :meth:`make_index` produced for the spanning tree.
+        """
+
+    def make_owner_index(self, owner: Any) -> Optional[Any]:
+        """Build a node→part routing index from an ``{node: part}`` mapping,
+        or ``None`` to decline it (caller falls back to the python kernel).
+        """
+
+    def route_edges(
+        self, owner_index: Any, u_col: Any, v_col: Any
+    ) -> List[Tuple[int, Any, Any]]:
+        """Group a block's part-internal edges by owning part.
+
+        Returns ``(part_key, u_column, v_column)`` triples sorted
+        ascending by part key; edges whose endpoints live in different
+        parts (or outside every part) are dropped.  Within each part,
+        scan order is preserved, so routed part files are byte-identical
+        across backends.
+        """
 
 
 _kernels: Dict[str, Kernel] = {}

@@ -187,3 +187,85 @@ class NumpyKernel:
             positions = np.nonzero(cross_mask)[0]
             cross = list(zip(u[positions].tolist(), v[positions].tolist()))
         return stop, counted, has_forward_cross, cross
+
+    # -- division primitives -------------------------------------------
+    def make_columns(
+        self, u_values: "npt.ArrayLike", v_values: "npt.ArrayLike"
+    ) -> Tuple["npt.NDArray[np.int32]", "npt.NDArray[np.int32]"]:
+        """Build int32 ndarray columns from plain int sequences."""
+        return self._as_int32(u_values), self._as_int32(v_values)
+
+    def collect_cross_edges(
+        self,
+        index: DenseIntervalIndex,
+        u_col: "npt.NDArray[np.int32]",
+        v_col: "npt.NDArray[np.int32]",
+    ) -> List[Tuple[int, int]]:
+        """Vectorized twin of ``PythonKernel.collect_cross_edges``.
+
+        Pure interval arithmetic: tree/forward/backward edges and
+        self-loops fail both cross masks, so no parent column is read.
+        """
+        pre_u = index.pre[u_col]
+        pre_v = index.pre[v_col]
+        ahead = pre_u < pre_v
+        cross_mask = np.where(
+            ahead,
+            pre_v >= pre_u + index.size[u_col],
+            pre_u >= pre_v + index.size[v_col],
+        )
+        if not cross_mask.any():
+            return []
+        positions = np.nonzero(cross_mask)[0]
+        return list(
+            zip(u_col[positions].tolist(), v_col[positions].tolist())
+        )
+
+    def make_owner_index(
+        self, owner: Mapping[int, int]
+    ) -> Optional["npt.NDArray[np.int64]"]:
+        """Dense ``node → part`` array, or ``None`` when ids are too sparse.
+
+        Mirrors :meth:`make_index`'s density rule; ``None`` sends the
+        caller to the python kernel's dict-based routing.
+        """
+        if not owner:
+            return None
+        max_id = max(owner)
+        if max_id + 1 > max(1024, _DENSITY_LIMIT * len(owner)):
+            return None
+        return _dense_column(owner, max_id + 1, -1)
+
+    def route_edges(
+        self,
+        owner_index: "npt.NDArray[np.int64]",
+        u_col: "npt.NDArray[np.int32]",
+        v_col: "npt.NDArray[np.int32]",
+    ) -> List[Tuple[int, "npt.NDArray[np.int32]", "npt.NDArray[np.int32]"]]:
+        """Group part-internal edges into per-part columns, keys ascending.
+
+        Nodes outside the index (id beyond the array, or a ``-1`` hole)
+        own no part, exactly as the dict's ``.get`` returning ``None``.
+        """
+        limit = len(owner_index)
+        in_range_u = (u_col >= 0) & (u_col < limit)
+        in_range_v = (v_col >= 0) & (v_col < limit)
+        own_u = np.where(
+            in_range_u, owner_index[np.clip(u_col, 0, limit - 1)], -1
+        )
+        own_v = np.where(
+            in_range_v, owner_index[np.clip(v_col, 0, limit - 1)], -1
+        )
+        internal = (own_u >= 0) & (own_u == own_v)
+        if not internal.any():
+            return []
+        parts = own_u[internal]
+        us = u_col[internal]
+        vs = v_col[internal]
+        routed: List[
+            Tuple[int, "npt.NDArray[np.int32]", "npt.NDArray[np.int32]"]
+        ] = []
+        for part in np.unique(parts).tolist():  # unique() sorts ascending
+            members = parts == part
+            routed.append((int(part), us[members], vs[members]))
+        return routed

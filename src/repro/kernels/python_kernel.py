@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import sys
 from array import array
-from typing import Dict, List, Optional, Sequence, Tuple, Union, cast
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union, cast
 
 from ..core.classify import IntervalIndex
 from ..core.tree import SpanningTree
@@ -141,6 +141,72 @@ class PythonKernel:
                 stop = position + 1
                 break
         return stop, counted, has_forward_cross, cross
+
+    # -- division primitives -------------------------------------------
+    def make_columns(
+        self, u_values: Sequence[int], v_values: Sequence[int]
+    ) -> Tuple["array[int]", "array[int]"]:
+        """Build stdlib-``array`` int32 columns from plain int sequences."""
+        try:
+            return array(_TYPECODE, u_values), array(_TYPECODE, v_values)
+        except OverflowError:
+            raise ValueError("edge endpoint out of int32 range") from None
+
+    def collect_cross_edges(
+        self,
+        index: _DictIndexClassifier,
+        u_col: Sequence[int],
+        v_col: Sequence[int],
+    ) -> List[Tuple[int, int]]:
+        """Emit the block's cross edges via the interval tests alone.
+
+        Tree, forward and backward edges and self-loops fail both cross
+        tests (a tree edge's head sits inside the tail's subtree), so no
+        parent lookup is needed — unlike :meth:`classify_slice`, which
+        must *count* non-tree edges for batching.
+        """
+        pre = index.pre
+        size = index.size
+        cross: List[Tuple[int, int]] = []
+        for u, v in zip(u_col, v_col):
+            if u == v:
+                continue
+            pre_u = pre[u]
+            pre_v = pre[v]
+            if pre_u < pre_v:
+                if pre_v >= pre_u + size[u]:
+                    cross.append((u, v))  # forward-cross
+            elif pre_u >= pre_v + size[v]:
+                cross.append((u, v))  # backward-cross
+        return cross
+
+    def make_owner_index(self, owner: Mapping[int, int]) -> Dict[int, int]:
+        """Routing index is the ``{node: part}`` dict itself (never declines)."""
+        return dict(owner)
+
+    def route_edges(
+        self,
+        owner_index: Dict[int, int],
+        u_col: Sequence[int],
+        v_col: Sequence[int],
+    ) -> List[Tuple[int, "array[int]", "array[int]"]]:
+        """Group part-internal edges into per-part columns, keys ascending."""
+        get = owner_index.get
+        buckets: Dict[int, Tuple["array[int]", "array[int]"]] = {}
+        for u, v in zip(u_col, v_col):
+            part = get(u)
+            if part is None or part != get(v):
+                continue
+            pair = buckets.get(part)
+            if pair is None:
+                pair = (array(_TYPECODE), array(_TYPECODE))
+                buckets[part] = pair
+            pair[0].append(u)
+            pair[1].append(v)
+        return [
+            (part, columns[0], columns[1])
+            for part, columns in sorted(buckets.items())
+        ]
 
 
 def _is_i32_array(column: object) -> bool:

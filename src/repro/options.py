@@ -41,6 +41,13 @@ class RunOptions:
             (divide & conquer only; see :mod:`repro.parallel`).  The
             default ``1`` keeps the sequential part loop and is
             bit-identical to earlier releases.
+        block_codec: edge-block payload codec for files written during
+            the run — ``"fixed32"`` (raw int32 pairs) or
+            ``"delta-varint"`` (zig-zag delta + LEB128 varint columns).
+            ``None`` defers to the device's setting (itself defaulting
+            to ``$REPRO_BLOCK_CODEC``, then ``fixed32``).  The codec
+            changes block counts and bytes on disk only — the DFS tree
+            and order are bit-identical across codecs.
 
     Fields left at their defaults are never forwarded, so a default
     value an algorithm does not understand (e.g. ``use_external_stack``
@@ -56,6 +63,7 @@ class RunOptions:
     initial_tree: Optional["SpanningTree"] = None
     tracer: Optional["Tracer"] = None
     workers: int = 1
+    block_codec: Optional[str] = None
 
     def replace(self, **changes: object) -> "RunOptions":
         """A copy with the given fields changed (frozen-safe update)."""

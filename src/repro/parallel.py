@@ -95,6 +95,7 @@ class PartPayload:
     allocator_start: int
     worker_dir: str
     traced: bool
+    block_codec: str
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,7 @@ def _run_part_worker(payload: PartPayload) -> PartOutcome:
         fault_plan=payload.fault_plan,
         max_retries=payload.max_retries,
         backoff_seconds=payload.backoff_seconds,
+        block_codec=payload.block_codec,
     )
     try:
         edge_file = EdgeFile.open_sealed(
@@ -277,6 +279,7 @@ def _build_payloads(
                     device.directory, f"pool-{depth}-{part.index}"
                 ),
                 traced=context.tracer.enabled,
+                block_codec=device.block_codec,
             )
         )
     return payloads

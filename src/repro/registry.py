@@ -32,7 +32,9 @@ if TYPE_CHECKING:
 AlgorithmRunner = Callable[..., "DFSResult"]
 
 #: Options every algorithm understands.
-BASE_OPTIONS = frozenset({"max_passes", "deadline_seconds", "tracer"})
+BASE_OPTIONS = frozenset(
+    {"max_passes", "deadline_seconds", "tracer", "block_codec"}
+)
 
 
 @dataclass(frozen=True)

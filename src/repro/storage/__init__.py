@@ -14,8 +14,15 @@ from .external_sort import sort_edge_file
 from .external_stack import ExternalStack
 from .faults import FAULT_SEED_ENV_VAR, FaultEvent, FaultInjector, FaultPlan
 from .io_stats import IOSnapshot, IOStats
+from .serialization import (
+    BLOCK_CODEC_ENV_VAR,
+    BLOCK_CODECS,
+    resolve_block_codec,
+)
 
 __all__ = [
+    "BLOCK_CODECS",
+    "BLOCK_CODEC_ENV_VAR",
     "BlockDevice",
     "DEFAULT_BLOCK_ELEMENTS",
     "DEFAULT_MAX_RETRIES",
@@ -31,5 +38,6 @@ __all__ = [
     "PartitionWriter",
     "TREE_NODE_COST",
     "edge_file_from_edges",
+    "resolve_block_codec",
     "sort_edge_file",
 ]

@@ -45,6 +45,7 @@ from .serialization import (
     FRAME_HEADER_BYTES,
     frame_block,
     parse_frame_header,
+    resolve_block_codec,
     verify_frame_payload,
 )
 
@@ -71,6 +72,11 @@ class BlockDevice:
             ``"python"``, ``"numpy"``, ``"auto"``, or ``None`` to defer to
             ``$REPRO_KERNEL`` (then ``auto``).  The backend changes CPU
             cost only; bytes on disk and I/O charges are identical.
+        block_codec: edge-block payload codec for files *written* on this
+            device — ``"fixed32"``, ``"delta-varint"``, or ``None`` to
+            defer to ``$REPRO_BLOCK_CODEC`` (then ``fixed32``).  Reading
+            is always self-describing, so sealed files written under any
+            codec setting remain readable.
         fault_plan: optional :class:`~repro.storage.faults.FaultPlan`; when
             given, every block transfer consults a fresh injector bound to
             the plan, so a run replays the plan's exact failure schedule.
@@ -94,6 +100,7 @@ class BlockDevice:
         fault_plan: Optional[FaultPlan] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
         backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        block_codec: Optional[str] = None,
     ) -> None:
         if block_elements <= 0:
             raise ValueError("block_elements must be positive")
@@ -106,6 +113,11 @@ class BlockDevice:
 
         self.block_elements = block_elements
         self.kernel = resolve_kernel(kernel)
+        #: Codec for edge blocks written on this device.  Mutable: a
+        #: :class:`~repro.algorithms.base.RunContext` may install the
+        #: run's codec here for the duration of a run (and restores the
+        #: previous value on release), mirroring the tracer slot below.
+        self.block_codec = resolve_block_codec(block_codec)
         self.stats = IOStats()
         #: The tracer storage-layer code reports to (retry/fault counters,
         #: external-sort spans).  A :class:`~repro.algorithms.base.RunContext`
@@ -169,13 +181,20 @@ class BlockDevice:
         return injected
 
     def write_block(self, handle: BinaryIO, payload: bytes,
-                    context: str = "block") -> None:
+                    context: str = "block",
+                    raw_bytes: Optional[int] = None) -> None:
         """Frame ``payload`` and write it at the handle's current position.
 
         Charges exactly one logical write I/O however many attempts it
         takes.  On a transient failure the handle is rewound to the block's
         start offset and the write is repeated, so a torn attempt can never
         leave a half-frame behind a successful one.
+
+        Args:
+            raw_bytes: when given, the *logical* (uncompressed) size of an
+                edge-block payload; on success the stored-vs-raw pair is
+                charged to :meth:`IOStats.add_edge_bytes` so compression
+                ratios are measurable.  Non-edge payloads omit it.
 
         Raises:
             ClosedFileError: when the device is closed.
@@ -211,6 +230,8 @@ class BlockDevice:
                 continue
             self._sync_faults(baseline)
             self.stats.add_writes(1)
+            if raw_bytes is not None:
+                self.stats.add_edge_bytes(raw_bytes, len(payload))
             return
         raise RetriesExhausted(
             f"{context}: write failed after {self.max_retries + 1} attempts "
@@ -305,7 +326,10 @@ class BlockDevice:
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
         faulty = ", faulty" if self.fault_plan is not None else ""
+        codec = (
+            f", codec={self.block_codec}" if self.block_codec != "fixed32" else ""
+        )
         return (
             f"BlockDevice(block_elements={self.block_elements}, "
-            f"directory={self.directory!r}, {state}{faulty})"
+            f"directory={self.directory!r}, {state}{faulty}{codec})"
         )

@@ -19,11 +19,20 @@ from __future__ import annotations
 
 import os
 from itertools import islice
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ClosedFileError, StorageError
 from .block_device import BlockDevice
-from .serialization import Edge, pack_edges, unpack_edges
+from .serialization import (
+    CODEC_FIXED32,
+    EDGE_BYTES,
+    DeltaVarintBlockEncoder,
+    Edge,
+    classify_edge_block,
+    decode_edge_block,
+    decode_varint_columns,
+    pack_edges,
+)
 
 
 class EdgeFile:
@@ -31,12 +40,26 @@ class EdgeFile:
 
     Not constructed directly; use
     :meth:`BlockDevice.create_edge_file`.
+
+    The file is written under the device's edge-block codec
+    (:attr:`BlockDevice.block_codec`) captured at creation time.  Under
+    ``fixed32`` every block holds exactly ``block_elements`` edges (the
+    legacy raw layout); under a compressed codec blocks hold as many
+    edges as fit in the same byte budget, so a scan touches fewer
+    blocks.  Reading is self-describing per block, so a device may scan
+    files sealed under any codec.
     """
 
     def __init__(self, device: BlockDevice, path: str) -> None:
         self.device = device
         self.path = path
+        self.codec = device.block_codec
         self._write_buffer: List[Edge] = []
+        self._encoder: Optional[DeltaVarintBlockEncoder] = (
+            None
+            if self.codec == CODEC_FIXED32
+            else DeltaVarintBlockEncoder(device.block_elements * EDGE_BYTES)
+        )
         self._handle = open(path, "wb")
         self._sealed = False
         self._deleted = False
@@ -67,7 +90,9 @@ class EdgeFile:
         adopted = cls.__new__(cls)
         adopted.device = device
         adopted.path = path
+        adopted.codec = device.block_codec
         adopted._write_buffer = []
+        adopted._encoder = None
         handle = open(path, "rb")
         handle.close()
         adopted._handle = handle
@@ -90,9 +115,23 @@ class EdgeFile:
         if self._sealed:
             raise StorageError(f"edge file {self.path} is sealed; cannot append")
 
+    def _write_payload(self, payload: bytes, count: int) -> None:
+        """Write one already-encoded edge-block payload holding ``count`` edges."""
+        self.device.write_block(
+            self._handle, payload, context=self.path,
+            raw_bytes=count * EDGE_BYTES,
+        )
+        self.edge_count += count
+        self.block_count += 1
+
     def append(self, u: int, v: int) -> None:
         """Append one edge.  Flushes a block when the buffer fills."""
         self._check_writable()
+        if self._encoder is not None:
+            emitted = self._encoder.add(u, v)
+            if emitted is not None:
+                self._write_payload(*emitted)
+            return
         self._write_buffer.append((u, v))
         if len(self._write_buffer) >= self.device.block_elements:
             self._flush_block()
@@ -105,6 +144,14 @@ class EdgeFile:
         method call (plus re-check) per edge.
         """
         self._check_writable()
+        if self._encoder is not None:
+            add = self._encoder.add
+            write = self._write_payload
+            for u, v in edges:
+                emitted = add(u, v)
+                if emitted is not None:
+                    write(*emitted)
+            return
         buffer = self._write_buffer
         block_elements = self.device.block_elements
         iterator = iter(edges)
@@ -129,6 +176,18 @@ class EdgeFile:
             raise ValueError(
                 f"column length mismatch: {len(u_col)} vs {len(v_col)}"
             )
+        if self._encoder is not None:
+            # Compressed path: the encoder consumes plain ints edge by
+            # edge (block boundaries depend on encoded sizes, not counts).
+            u_list = u_col.tolist() if hasattr(u_col, "tolist") else u_col
+            v_list = v_col.tolist() if hasattr(v_col, "tolist") else v_col
+            add = self._encoder.add
+            write = self._write_payload
+            for u, v in zip(u_list, v_list):
+                emitted = add(u, v)
+                if emitted is not None:
+                    write(*emitted)
+            return
         buffer = self._write_buffer
         block_elements = self.device.block_elements
         total = len(u_col)
@@ -146,6 +205,7 @@ class EdgeFile:
                 self._handle,
                 pack_columns(u_col[position:stop], v_col[position:stop]),
                 context=self.path,
+                raw_bytes=block_elements * EDGE_BYTES,
             )
             self.edge_count += block_elements
             self.block_count += 1
@@ -154,12 +214,19 @@ class EdgeFile:
             buffer.extend(zip(u_col[position:], v_col[position:]))
 
     def _flush_block(self) -> None:
+        if self._encoder is not None:
+            flushed = self._encoder.flush()
+            if flushed is not None:
+                self._write_payload(*flushed)
+            return
         if not self._write_buffer:
             return
+        count = len(self._write_buffer)
         self.device.write_block(
-            self._handle, pack_edges(self._write_buffer), context=self.path
+            self._handle, pack_edges(self._write_buffer), context=self.path,
+            raw_bytes=count * EDGE_BYTES,
         )
-        self.edge_count += len(self._write_buffer)
+        self.edge_count += count
         self.block_count += 1
         self._write_buffer.clear()
 
@@ -194,6 +261,10 @@ class EdgeFile:
     def scan_blocks(self) -> Iterator[List[Edge]]:
         """Yield one list of edges per block, charging one read I/O each.
 
+        Each block is decoded by whatever codec it was written with (the
+        payload is self-describing), so a device scans sealed files from
+        any codec setting.
+
         Raises:
             CorruptBlockError: when a block's checksum failure persists
                 across the device's retry budget.
@@ -205,7 +276,9 @@ class EdgeFile:
                 data = device.read_block(handle, context=self.path)
                 if data is None:
                     break
-                yield unpack_edges(data)
+                block = decode_edge_block(data)
+                device.stats.add_edge_bytes(len(block) * EDGE_BYTES, len(data))
+                yield block
 
     def scan_columns(self) -> Iterator[Tuple[Sequence[int], Sequence[int]]]:
         """Yield ``(u, v)`` columns per block, charging one read I/O each.
@@ -218,13 +291,21 @@ class EdgeFile:
         """
         self._check_readable()
         device = self.device
-        unpack_columns = device.kernel.unpack_edge_columns
+        kernel = device.kernel
         with open(self.path, "rb") as handle:
             while True:
                 data = device.read_block(handle, context=self.path)
                 if data is None:
                     break
-                yield unpack_columns(data)
+                codec, body = classify_edge_block(data)
+                if codec == CODEC_FIXED32:
+                    u_col, v_col = kernel.unpack_edge_columns(body)
+                else:
+                    u_col, v_col = kernel.make_columns(
+                        *decode_varint_columns(body)
+                    )
+                device.stats.add_edge_bytes(len(u_col) * EDGE_BYTES, len(data))
+                yield u_col, v_col
 
     def scan(self) -> Iterator[Edge]:
         """Yield every edge in file order, charging one read I/O per block."""
@@ -295,6 +376,20 @@ class PartitionWriter:
         except KeyError:
             raise KeyError(f"unknown partition key: {key!r}") from None
         part.append(u, v)
+
+    def route_columns(
+        self, key: object, u_col: Sequence[int], v_col: Sequence[int]
+    ) -> None:
+        """Append whole ``(u, v)`` columns to the part addressed by ``key``.
+
+        The columnar twin of :meth:`route`: same bytes, same I/O charges,
+        one call per (part, block) span instead of one per edge.
+        """
+        try:
+            part = self._parts[key]
+        except KeyError:
+            raise KeyError(f"unknown partition key: {key!r}") from None
+        part.extend_columns(u_col, v_col)
 
     def seal(self) -> Dict[object, EdgeFile]:
         """Seal all parts and return the ``key -> EdgeFile`` mapping."""

@@ -28,6 +28,9 @@ class IOSnapshot:
     ``reads``/``writes`` are logical block transfers; ``retries``,
     ``faults`` and ``checksum_failures`` are resilience-layer observables
     (see the module docstring) and are excluded from :attr:`total`.
+    ``edge_bytes_raw``/``edge_bytes_stored`` track the edge-block codec:
+    logical (uncompressed, 8 bytes/edge) versus on-disk payload bytes of
+    every edge block moved in either direction.
     """
 
     reads: int
@@ -35,11 +38,20 @@ class IOSnapshot:
     retries: int = 0
     faults: int = 0
     checksum_failures: int = 0
+    edge_bytes_raw: int = 0
+    edge_bytes_stored: int = 0
 
     @property
     def total(self) -> int:
         """Total logical block transfers (reads + writes)."""
         return self.reads + self.writes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw-over-stored edge bytes (``1.0`` when nothing moved)."""
+        if self.edge_bytes_stored <= 0:
+            return 1.0
+        return self.edge_bytes_raw / self.edge_bytes_stored
 
     def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
         return IOSnapshot(
@@ -48,6 +60,8 @@ class IOSnapshot:
             self.retries - other.retries,
             self.faults - other.faults,
             self.checksum_failures - other.checksum_failures,
+            self.edge_bytes_raw - other.edge_bytes_raw,
+            self.edge_bytes_stored - other.edge_bytes_stored,
         )
 
     def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
@@ -57,6 +71,8 @@ class IOSnapshot:
             self.retries + other.retries,
             self.faults + other.faults,
             self.checksum_failures + other.checksum_failures,
+            self.edge_bytes_raw + other.edge_bytes_raw,
+            self.edge_bytes_stored + other.edge_bytes_stored,
         )
 
 
@@ -73,7 +89,10 @@ class IOStats:
         cost = device.stats.snapshot() - before
     """
 
-    __slots__ = ("reads", "writes", "retries", "faults", "checksum_failures")
+    __slots__ = (
+        "reads", "writes", "retries", "faults", "checksum_failures",
+        "edge_bytes_raw", "edge_bytes_stored",
+    )
 
     def __init__(self) -> None:
         self.reads = 0
@@ -81,6 +100,8 @@ class IOStats:
         self.retries = 0
         self.faults = 0
         self.checksum_failures = 0
+        self.edge_bytes_raw = 0
+        self.edge_bytes_stored = 0
 
     def add_reads(self, blocks: int = 1) -> None:
         """Record ``blocks`` block reads."""
@@ -112,6 +133,19 @@ class IOStats:
             raise ValueError("failure count must be non-negative")
         self.checksum_failures += count
 
+    def add_edge_bytes(self, raw: int, stored: int) -> None:
+        """Record one edge block moved: logical vs on-disk payload bytes.
+
+        Charged by the edge-file layer on every edge-block read and write
+        (never for non-edge payloads such as stack pages or checkpoints),
+        so ``edge_bytes_raw / edge_bytes_stored`` is the block codec's
+        measured compression ratio.
+        """
+        if raw < 0 or stored < 0:
+            raise ValueError("byte counts must be non-negative")
+        self.edge_bytes_raw += raw
+        self.edge_bytes_stored += stored
+
     def absorb(self, delta: IOSnapshot) -> None:
         """Fold another run's measured delta into this counter.
 
@@ -121,13 +155,16 @@ class IOStats:
         run's block transfers no matter which process paid them.
         """
         if min(delta.reads, delta.writes, delta.retries, delta.faults,
-               delta.checksum_failures) < 0:
+               delta.checksum_failures, delta.edge_bytes_raw,
+               delta.edge_bytes_stored) < 0:
             raise ValueError("cannot absorb a negative I/O delta")
         self.reads += delta.reads
         self.writes += delta.writes
         self.retries += delta.retries
         self.faults += delta.faults
         self.checksum_failures += delta.checksum_failures
+        self.edge_bytes_raw += delta.edge_bytes_raw
+        self.edge_bytes_stored += delta.edge_bytes_stored
 
     @property
     def total(self) -> int:
@@ -138,7 +175,8 @@ class IOStats:
         """Return an immutable copy of the current counters."""
         return IOSnapshot(
             self.reads, self.writes, self.retries, self.faults,
-            self.checksum_failures,
+            self.checksum_failures, self.edge_bytes_raw,
+            self.edge_bytes_stored,
         )
 
     def reset(self) -> None:
@@ -148,6 +186,8 @@ class IOStats:
         self.retries = 0
         self.faults = 0
         self.checksum_failures = 0
+        self.edge_bytes_raw = 0
+        self.edge_bytes_stored = 0
 
     def __repr__(self) -> str:
         extras = ""

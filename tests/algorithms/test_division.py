@@ -149,3 +149,42 @@ class TestInvalidDivisions:
         allocator = VirtualNodeAllocator(30)
         tree = initial_star_tree(disk, allocator)
         assert divide_with_cut(disk.edge_file, tree, {tree.root}, set(), allocator) is None
+
+
+class TestWideCut:
+    """Regression: the T_0 build must stay linear on very wide cuts.
+
+    A previous implementation drained the BFS queue with ``list.pop(0)``,
+    which is quadratic in the cut width; a thousands-wide sibling group
+    (disconnected micro-clusters) is exactly the shape that triggered it.
+    """
+
+    CLUSTERS = 1500
+    SIZE = 3  # directed triangles: the smallest nontrivial SCC parts
+
+    def triangle_clusters(self):
+        from repro.graph import Digraph
+
+        graph = Digraph(self.CLUSTERS * self.SIZE)
+        for cluster in range(self.CLUSTERS):
+            base = cluster * self.SIZE
+            for i in range(self.SIZE):
+                graph.add_edge(base + i, base + (i + 1) % self.SIZE)
+        return graph
+
+    def test_wide_flat_division_covers_every_cluster(self, device):
+        graph = self.triangle_clusters()
+        node_count = graph.node_count
+        disk, tree, division = prepared_division(
+            device, graph, 3 * node_count + 4000, cut="star", seed_passes=1
+        )
+        assert division is not None
+        # one part per cluster: the cut is CLUSTERS siblings wide, and the
+        # top-down T_0 build must enqueue every one of them exactly once
+        assert division.part_count == self.CLUSTERS
+        covered = sorted(
+            node for part in division.parts for node in part.real_nodes
+        )
+        assert covered == list(range(node_count))
+        for part in division.parts:
+            assert part.edge_file.edge_count == self.SIZE

@@ -20,7 +20,7 @@ def setup_run(device, graph, memory):
 
 class TestSinglePass:
     def test_pass_scans_whole_file_once(self, device_factory):
-        device = device_factory(block_elements=16)
+        device = device_factory(block_elements=16, block_codec="fixed32")
         graph = random_graph(50, 4, seed=1)
         disk, tree, budget = setup_run(device, graph, 3 * 50 + 1000)
         before = device.stats.snapshot()

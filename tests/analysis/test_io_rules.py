@@ -73,3 +73,46 @@ class TestAttributeIo:
 
     def test_unrelated_attribute_not_flagged(self, check):
         assert check("edges = graph.scan_blocks()\n") == []
+
+
+class TestCodecInternals:
+    def test_internal_import_flagged(self, check):
+        source = "from repro.storage.serialization import decode_edge_block\n"
+        assert check(source) == ["SEX105"]
+
+    def test_relative_serialization_import_flagged(self, check):
+        source = "from ..storage.serialization import DeltaVarintBlockEncoder\n"
+        assert check(source) == ["SEX105"]
+
+    def test_codec_tag_import_flagged(self, check):
+        source = "from repro.storage.serialization import CODEC_TAG_DELTA_VARINT\n"
+        assert check(source) == ["SEX105"]
+
+    def test_each_internal_name_flagged_once(self, check):
+        source = (
+            "from repro.storage.serialization import (\n"
+            "    classify_edge_block, decode_varint_columns)\n"
+        )
+        assert check(source) == ["SEX105", "SEX105"]
+
+    def test_module_attribute_call_flagged(self, check):
+        source = (
+            "from repro.storage import serialization\n"
+            "payload = serialization.frame_block(b'x')\n"
+        )
+        assert check(source) == ["SEX105"]
+
+    def test_public_codec_surface_not_flagged(self, check):
+        source = (
+            "from repro.storage.serialization import (\n"
+            "    BLOCK_CODECS, pack_ints, resolve_block_codec, unpack_ints)\n"
+        )
+        assert check(source) == []
+
+    def test_internals_allowed_inside_storage(self, check):
+        source = "from .serialization import DeltaVarintBlockEncoder\n"
+        assert check(source, path="repro/storage/edge_file.py") == []
+
+    def test_other_serialization_modules_not_matched(self, check):
+        # the rule keys on the *module name*, not arbitrary lookalikes
+        assert check("from pickle import decode_edge_block\n") == []

@@ -83,3 +83,20 @@ class TestRenderCSV:
         columns = dict(zip(*[line.split(",") for line in csv.splitlines()]))
         assert columns["dnf"] == "1"
         assert columns["kernel"] == "python"
+
+    def test_codec_columns(self):
+        row = cell("20%", "divide-td")
+        row.codec = "delta-varint"
+        row.compression_ratio = 3.14159
+        row.blocks_per_scan = 17
+        csv = render_csv([row])
+        columns = dict(zip(*[line.split(",") for line in csv.splitlines()]))
+        assert columns["codec"] == "delta-varint"
+        assert columns["compression_ratio"] == "3.142"
+        assert columns["blocks_per_scan"] == "17"
+
+    def test_codec_defaults_are_fixed32(self):
+        csv = render_csv([cell("20%", "a")])
+        columns = dict(zip(*[line.split(",") for line in csv.splitlines()]))
+        assert columns["codec"] == "fixed32"
+        assert columns["compression_ratio"] == "1.000"

@@ -31,11 +31,16 @@ def device():
 
 @pytest.fixture
 def device_factory():
-    """Create devices with custom block sizes; all closed on teardown."""
+    """Create devices with custom block sizes; all closed on teardown.
+
+    Extra keyword arguments are forwarded to :class:`BlockDevice` — tests
+    that assert *exact* fixed32 block counts pin ``block_codec="fixed32"``
+    so they stay meaningful under the ``REPRO_BLOCK_CODEC`` CI matrix leg.
+    """
     created = []
 
-    def make(block_elements: int = 32) -> BlockDevice:
-        dev = BlockDevice(block_elements=block_elements)
+    def make(block_elements: int = 32, **kwargs) -> BlockDevice:
+        dev = BlockDevice(block_elements=block_elements, **kwargs)
         created.append(dev)
         return dev
 

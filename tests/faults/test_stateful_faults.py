@@ -84,11 +84,14 @@ class EdgeFileVsShadow(RuleBasedStateMachine):
 
     def __init__(self):
         super().__init__()
+        # fixed32 pinned: flushed_counts_agree asserts the exact
+        # block-aligned flush boundary, which only holds for fixed32.
         self.device = BlockDevice(
             block_elements=8,
             fault_plan=PLAN,
             max_retries=64,
             backoff_seconds=0.0,
+            block_codec="fixed32",
         )
         self.edge_file = self.device.create_edge_file()
         self.shadow = []

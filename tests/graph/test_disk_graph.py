@@ -51,7 +51,7 @@ class TestAccess:
         assert loaded.node_count == 40
 
     def test_scan_charges_io(self, device_factory):
-        device = device_factory(block_elements=8)
+        device = device_factory(block_elements=8, block_codec="fixed32")
         graph = DiskGraph.from_edges(device, 100, [(i, 0) for i in range(1, 50)])
         before = device.stats.snapshot()
         list(graph.scan())

@@ -217,3 +217,101 @@ class TestClassifySlice:
             assert dense.size[node] == dict_index.size[node]
             parent = tree.parent[node]
             assert dense.parent[node] == (-1 if parent is None else parent)
+
+
+class TestDivisionOps:
+    """The division-scan kernel ops: cross-edge collection and routing."""
+
+    def columns_for(self, kernel, edges):
+        return kernel.make_columns(
+            [u for u, _ in edges], [v for _, v in edges]
+        )
+
+    @pytest.mark.parametrize("seed", [1, 4, 9])
+    def test_collect_cross_edges_matches_the_classifier(self, kernel, seed):
+        from repro.core.classify import EdgeType, IntervalIndex
+
+        tree, edges = converged_tree(seed=seed)
+        oracle = IntervalIndex(tree)
+        expected = [
+            (u, v)
+            for u, v in edges
+            if u != v and oracle.classify(u, v) in
+            (EdgeType.FORWARD_CROSS, EdgeType.BACKWARD_CROSS)
+        ]
+        index = kernel.make_index(tree)
+        assert index is not None
+        collected = kernel.collect_cross_edges(
+            index, *self.columns_for(kernel, edges)
+        )
+        assert [(int(u), int(v)) for u, v in collected] == expected
+
+    @requires_numpy
+    @pytest.mark.parametrize("seed", [2, 7])
+    def test_backends_collect_identical_cross_edges(self, seed):
+        py = resolve_kernel("python")
+        np_kernel = resolve_kernel("numpy")
+        tree, edges = converged_tree(seed=seed)
+        py_out = py.collect_cross_edges(
+            py.make_index(tree), *self.columns_for(py, edges)
+        )
+        np_out = np_kernel.collect_cross_edges(
+            np_kernel.make_index(tree), *self.columns_for(np_kernel, edges)
+        )
+        assert [(int(u), int(v)) for u, v in np_out] == list(py_out)
+
+    def test_make_columns_rejects_out_of_range(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.make_columns([2**31], [0])
+
+    def route_all(self, kernel, owner, edges):
+        """Flatten route_edges output to comparable python structures."""
+        owner_index = kernel.make_owner_index(owner)
+        assert owner_index is not None
+        routed = kernel.route_edges(
+            owner_index, *self.columns_for(kernel, edges)
+        )
+        return [
+            (int(part), [int(u) for u in us], [int(v) for v in vs])
+            for part, us, vs in routed
+        ]
+
+    def test_route_edges_keeps_scan_order_within_parts(self, kernel):
+        owner = {0: 1, 1: 1, 2: 2, 3: 2, 4: 3}
+        edges = [
+            (0, 1), (2, 3), (1, 0), (0, 2),  # cross-part: dropped
+            (3, 2), (4, 4), (0, 0), (5, 5),  # 5 unowned: dropped
+        ]
+        assert self.route_all(kernel, owner, edges) == [
+            (1, [0, 1, 0], [1, 0, 0]),
+            (2, [2, 3], [3, 2]),
+            (3, [4], [4]),
+        ]
+
+    def test_route_edges_part_keys_ascend(self, kernel):
+        owner = {i: (i % 5) + 1 for i in range(40)}
+        edges = [(i, i) for i in reversed(range(40))]
+        parts = [part for part, _us, _vs in self.route_all(kernel, owner, edges)]
+        assert parts == sorted(parts) == [1, 2, 3, 4, 5]
+
+    @requires_numpy
+    def test_backends_route_identically(self):
+        py = resolve_kernel("python")
+        np_kernel = resolve_kernel("numpy")
+        import random
+
+        rng = random.Random(13)
+        owner = {node: rng.randrange(1, 7) for node in range(200)}
+        edges = [
+            (rng.randrange(220), rng.randrange(220)) for _ in range(1000)
+        ]
+        assert self.route_all(py, owner, edges) \
+            == self.route_all(np_kernel, owner, edges)
+
+    @requires_numpy
+    def test_sparse_owner_map_declines_dense_index(self):
+        np_kernel = resolve_kernel("numpy")
+        assert np_kernel.make_owner_index({10**7: 1, 0: 2}) is None
+        assert np_kernel.make_owner_index({}) is None
+        # the python kernel is the universal fallback: never declines
+        assert resolve_kernel("python").make_owner_index({10**7: 1}) == {10**7: 1}

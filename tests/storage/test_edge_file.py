@@ -62,14 +62,14 @@ class TestWriteScan:
 
 class TestIOAccounting:
     def test_write_cost_is_ceil_m_over_b(self, device_factory):
-        device = device_factory(block_elements=10)
+        device = device_factory(block_elements=10, block_codec="fixed32")
         edge_file = edge_file_from_edges(device, [(i, i) for i in range(25)])
         expected_blocks = math.ceil(25 / 10)
         assert edge_file.block_count == expected_blocks
         assert device.stats.writes == expected_blocks
 
     def test_scan_cost_is_ceil_m_over_b(self, device_factory):
-        device = device_factory(block_elements=10)
+        device = device_factory(block_elements=10, block_codec="fixed32")
         edge_file = edge_file_from_edges(device, [(i, i) for i in range(25)])
         before = device.stats.snapshot()
         list(edge_file.scan())
@@ -78,7 +78,7 @@ class TestIOAccounting:
         assert delta.writes == 0
 
     def test_every_scan_pays_again(self, device_factory):
-        device = device_factory(block_elements=4)
+        device = device_factory(block_elements=4, block_codec="fixed32")
         edge_file = edge_file_from_edges(device, [(i, i) for i in range(8)])
         before = device.stats.snapshot()
         list(edge_file.scan())
@@ -86,12 +86,12 @@ class TestIOAccounting:
         assert (device.stats.snapshot() - before).reads == 4
 
     def test_exact_block_boundary(self, device_factory):
-        device = device_factory(block_elements=5)
+        device = device_factory(block_elements=5, block_codec="fixed32")
         edge_file = edge_file_from_edges(device, [(i, i) for i in range(10)])
         assert edge_file.block_count == 2
 
     def test_scan_blocks_yields_block_sized_lists(self, device_factory):
-        device = device_factory(block_elements=4)
+        device = device_factory(block_elements=4, block_codec="fixed32")
         edge_file = edge_file_from_edges(device, [(i, 0) for i in range(9)])
         sizes = [len(block) for block in edge_file.scan_blocks()]
         assert sizes == [4, 4, 1]
@@ -153,7 +153,7 @@ class TestColumnarPaths:
             assert list(zip(us, vs)) == block
 
     def test_scan_columns_charges_one_read_per_block(self, device_factory):
-        device = device_factory(block_elements=4)
+        device = device_factory(block_elements=4, block_codec="fixed32")
         edge_file = edge_file_from_edges(device, [(i, i) for i in range(9)])
         before = device.stats.snapshot()
         list(edge_file.scan_columns())
@@ -168,7 +168,7 @@ class TestColumnarPaths:
             list(edge_file.scan_columns())
 
     def test_extend_accepts_generators(self, device_factory):
-        device = device_factory(block_elements=8)
+        device = device_factory(block_elements=8, block_codec="fixed32")
         edge_file = device.create_edge_file()
         edge_file.extend((i, i + 1) for i in range(21))
         edge_file.seal()
@@ -193,7 +193,7 @@ class TestColumnarPaths:
         assert device.stats.writes == edge_file.block_count
 
     def test_extend_columns_roundtrip(self, device_factory):
-        device = device_factory(block_elements=4)
+        device = device_factory(block_elements=4, block_codec="fixed32")
         edge_file = device.create_edge_file()
         edge_file.append(9, 9)  # ragged head: partial buffer before columns
         us = list(range(11))
@@ -209,7 +209,7 @@ class TestColumnarPaths:
             edge_file.extend_columns([1, 2], [3])
 
     def test_extend_columns_block_aligned(self, device_factory):
-        device = device_factory(block_elements=4)
+        device = device_factory(block_elements=4, block_codec="fixed32")
         edge_file = device.create_edge_file()
         edge_file.extend_columns(list(range(8)), list(range(8)))
         assert edge_file.block_count == 2  # written straight through

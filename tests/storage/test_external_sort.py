@@ -75,7 +75,7 @@ class TestSorting:
 class TestSortIO:
     def test_io_within_constant_of_sort_bound(self, device_factory):
         """Run formation + one merge level: about 4 * scan(N) transfers."""
-        device = device_factory(block_elements=16)
+        device = device_factory(block_elements=16, block_codec="fixed32")
         edge_count = 1024
         edges = [((i * 7919) % 1000, i % 997) for i in range(edge_count)]
         source = edge_file_from_edges(device, edges)

@@ -121,3 +121,55 @@ def test_kernel_backends_are_equivalent(graph):
         first = outcomes[0]
         for other in outcomes[1:]:
             assert other == first, f"{name}: kernels disagree"
+
+
+@differential_settings
+@given(digraphs())
+def test_block_codecs_are_equivalent(graph):
+    """fixed32 and delta-varint must yield identical trees and orders.
+
+    Compression changes how many edges share a block, and batch/division
+    boundaries follow block boundaries — but the *edge sequence* each scan
+    yields is identical, so the DFS tree and order must be bit-identical.
+    """
+    memory = 3 * graph.node_count + 50
+    for name, algorithm in ALGORITHMS:
+        outcomes = []
+        for codec in ("fixed32", "delta-varint"):
+            with BlockDevice(block_elements=16, block_codec=codec) as device:
+                disk = DiskGraph.from_digraph(device, graph)
+                result = algorithm(disk, memory)
+                assert_valid_dfs_result(result, disk, graph)
+                assert result.block_codec == codec
+                outcomes.append(
+                    (
+                        result.order,
+                        list(result.tree.preorder()),
+                        result.tree.parent,
+                    )
+                )
+        assert outcomes[0] == outcomes[1], f"{name}: codecs disagree"
+
+
+@differential_settings
+@given(digraphs())
+def test_explicit_codec_matches_the_default_run(graph):
+    """Pinning the ambient codec explicitly is a no-op against the default.
+
+    The ambient codec is whatever ``REPRO_BLOCK_CODEC`` resolves to (fixed32
+    outside the codec CI leg), so this holds under every matrix entry.
+    """
+    from repro.storage import resolve_block_codec
+
+    ambient = resolve_block_codec(None)
+    memory = 3 * graph.node_count + 50
+    for name, algorithm in ALGORITHMS:
+        with BlockDevice(block_elements=16) as device:
+            disk = DiskGraph.from_digraph(device, graph)
+            default = algorithm(disk, memory)
+        with BlockDevice(block_elements=16, block_codec=ambient) as device:
+            disk = DiskGraph.from_digraph(device, graph)
+            pinned = algorithm(disk, memory, block_codec=ambient)
+        assert default.block_codec == pinned.block_codec == ambient
+        assert pinned.order == default.order, name
+        assert pinned.io == default.io, name

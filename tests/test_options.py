@@ -72,6 +72,7 @@ class TestRunOptions:
         assert OPTION_NAMES == {
             "max_passes", "deadline_seconds", "use_external_stack", "order",
             "checkpoint_every", "initial_tree", "tracer", "workers",
+            "block_codec",
         }
 
     def test_default_workers_not_forwarded(self):

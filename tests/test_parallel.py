@@ -274,6 +274,7 @@ class TestWorkerBoundarySerialization:
             allocator_start=7,
             worker_dir="/tmp/pool-0-1",
             traced=True,
+            block_codec="fixed32",
         )
         clone = pickle.loads(pickle.dumps(payload))
         assert clone.strategy is star_strategy  # pickled by reference
