@@ -1,0 +1,128 @@
+"""BFS pass-count scaling: passes must track diameter, not graph size.
+
+Jacobi level relaxation settles one BFS level per edge pass and spends
+one final pass proving the fixpoint, so the pass count is bounded by
+``depth(start) + 1 <= diameter + 1`` — constant in |V| for fixed-shape
+families, linear only for path-like graphs.  This benchmark sweeps three
+graph families of very different diameters, gates every run on the
+``passes <= diameter + 1`` bound, and persists the trajectory to
+``benchmarks/results/BENCH_bfs_passes.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Dict, List
+
+from repro import BlockDevice, DiskGraph, semi_external_bfs
+from repro.bench import bench_scale
+from repro.graph import Digraph, power_law_graph, random_graph
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+BASE_NODES = max(200, int(10_000 * bench_scale()))
+BLOCK_ELEMENTS = 256
+
+
+def reachable_depth(graph: Digraph, start: int = 0) -> int:
+    """Depth of the BFS tree from ``start`` (the reachable eccentricity),
+    by in-memory deque BFS — the oracle bound for the pass gate."""
+    levels = [-1] * graph.node_count
+    levels[start] = 0
+    queue = deque([start])
+    depth = 0
+    while queue:
+        u = queue.popleft()
+        for v in graph.out_neighbors(u):
+            if levels[v] < 0:
+                levels[v] = levels[u] + 1
+                depth = max(depth, levels[v])
+                queue.append(v)
+    return depth
+
+
+def path_graph(node_count: int) -> Digraph:
+    return Digraph.from_edges(
+        node_count, ((i, i + 1) for i in range(node_count - 1))
+    )
+
+
+def families(nodes: int) -> Dict[str, Digraph]:
+    # a chain maximizes diameter; the random and power-law families keep
+    # it logarithmic-ish, so passes stay flat while |V| grows 4x
+    return {
+        "path": path_graph(max(16, nodes // 10)),
+        "random": random_graph(nodes, 4, seed=17),
+        "power-law": power_law_graph(nodes, 6, seed=23),
+    }
+
+
+def run_family(name: str, graph: Digraph) -> Dict[str, int]:
+    with BlockDevice(block_elements=BLOCK_ELEMENTS) as device:
+        disk = DiskGraph.from_digraph(device, graph)
+        result = semi_external_bfs(
+            disk, 3 * graph.node_count + 4 * BLOCK_ELEMENTS
+        )
+    depth = reachable_depth(graph)
+    # the gate: never more than one pass per level plus the fixpoint
+    # proof; depth bounds diameter from below, so this is the stricter
+    # form of the "<= diameter + 1" acceptance bound
+    assert result.passes <= depth + 1, (
+        f"{name}: {result.passes} passes exceeds depth {depth} + 1"
+    )
+    assert result.depth == depth
+    return {
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "depth": depth,
+        "passes": result.passes,
+        "reached": result.reached_count,
+        "total_ios": result.io.total,
+    }
+
+
+def test_bfs_pass_scaling(report_text):
+    """Sweep sizes x families; gate passes and persist the trajectory."""
+    results: Dict[str, List[Dict[str, int]]] = {}
+    lines = [f"bfs pass scaling (block={BLOCK_ELEMENTS} edges)"]
+    for scale in (1, 2, 4):
+        for name, graph in families(BASE_NODES * scale).items():
+            row = run_family(name, graph)
+            results.setdefault(name, []).append(row)
+            lines.append(
+                f"  {name:>9s} |V|={row['nodes']:>6d}: "
+                f"depth {row['depth']:>4d}  passes {row['passes']:>4d}  "
+                f"ios {row['total_ios']:>7d}"
+            )
+    # flat-diameter families must not grow passes with |V|
+    for name in ("random", "power-law"):
+        passes = [row["passes"] for row in results[name]]
+        assert max(passes) <= 2 * min(passes) + 2, (
+            f"{name}: passes {passes} scale with |V|, not diameter"
+        )
+    # the path family is the degenerate bound: passes == nodes exactly
+    for row in results["path"]:
+        assert row["passes"] == row["nodes"]
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_bfs_passes.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    report_text("bfs_passes", "\n".join(lines))
+
+
+def test_bfs_smoke(benchmark):
+    """pytest-benchmark smoke variant: one mid-size random-graph run."""
+    graph = random_graph(BASE_NODES, 4, seed=17)
+
+    def once():
+        with BlockDevice(block_elements=BLOCK_ELEMENTS) as device:
+            disk = DiskGraph.from_digraph(device, graph)
+            return semi_external_bfs(
+                disk, 3 * BASE_NODES + 4 * BLOCK_ELEMENTS
+            )
+
+    result = benchmark(once)
+    assert sorted(result.order) == list(range(BASE_NODES))

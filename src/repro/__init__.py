@@ -21,7 +21,8 @@ paper-versus-measured record of every figure.
 
 from ._version import __version__
 from .api import ALGORITHMS, register_algorithm, semi_external_dfs
-from .algorithms.base import DFSResult
+from .algorithms.base import BFSResult, DFSResult, RunResult
+from .algorithms.bfs import semi_external_bfs
 from .obs import NullTracer, SpanEvent, Tracer
 from .options import RunOptions
 from .registry import AlgorithmRegistry, AlgorithmSpec
@@ -47,6 +48,7 @@ __all__ = [
     "ALGORITHMS",
     "AlgorithmRegistry",
     "AlgorithmSpec",
+    "BFSResult",
     "BlockDevice",
     "ConvergenceError",
     "CorruptBlockError",
@@ -63,11 +65,13 @@ __all__ = [
     "ReproError",
     "RetriesExhausted",
     "RunOptions",
+    "RunResult",
     "SpanEvent",
     "StorageError",
     "Tracer",
     "TransientIOError",
     "__version__",
     "register_algorithm",
+    "semi_external_bfs",
     "semi_external_dfs",
 ]

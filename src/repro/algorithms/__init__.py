@@ -1,7 +1,15 @@
-"""Semi-external DFS algorithms: the two Sibeyn-et-al. baselines and the
-paper's divide & conquer family (Divide-Star, Divide-TD)."""
+"""Semi-external graph algorithms: the two Sibeyn-et-al. DFS baselines,
+the paper's divide & conquer family (Divide-Star, Divide-TD), and the
+sibling semi-external BFS traversal."""
 
-from .base import DFSResult, default_max_passes, initial_star_tree
+from .base import (
+    BFSResult,
+    DFSResult,
+    RunResult,
+    default_max_passes,
+    initial_star_tree,
+)
+from .bfs import semi_external_bfs
 from .cut_tree import build_cut_tree, star_cut
 from .divide_conquer import divide_star_dfs, divide_td_dfs
 from .division import Division, Part, divide_with_cut
@@ -12,10 +20,12 @@ from .restructure import RestructureOutcome, restructure
 from .sgraph import SummaryGraph, contract_sigma_sccs, s_edge_endpoints
 
 __all__ = [
+    "BFSResult",
     "DFSResult",
     "Division",
     "Part",
     "RestructureOutcome",
+    "RunResult",
     "SummaryGraph",
     "build_cut_tree",
     "contract_sigma_sccs",
@@ -29,6 +39,7 @@ __all__ = [
     "merge_division",
     "restructure",
     "s_edge_endpoints",
+    "semi_external_bfs",
     "splice_non_root_virtuals",
     "star_cut",
 ]

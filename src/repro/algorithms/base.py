@@ -1,9 +1,13 @@
-"""Shared result type and run context for the semi-external algorithms.
+"""Shared result types and run context for the semi-external algorithms.
 
 Every algorithm takes a :class:`~repro.graph.disk_graph.DiskGraph` plus a
 memory budget ``M`` (in elements, ``k·n <= M``) and produces a
-:class:`DFSResult`: the DFS-Tree, the DFS total order it induces, and the
-measured costs (simulated block I/Os, restructure passes, divisions).
+:class:`RunResult`: the spanning tree it built, the node order it
+induces, and the measured costs (simulated block I/Os, edge-file passes).
+The DFS family returns the :class:`DFSResult` specialization (divisions,
+recursion depth); sibling traversals such as semi-external BFS return
+their own subclasses (:class:`BFSResult` adds the level array) while the
+context, budget, tracer, and I/O accounting stay shared.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from ..errors import MemoryBudgetExceeded
 from ..graph.disk_graph import DiskGraph
@@ -21,19 +25,20 @@ from ..storage.io_stats import IOSnapshot
 from ..core.tree import SpanningTree, VirtualNodeAllocator
 from ..core.validation import real_preorder
 
-#: Whether the ``DFSResult.trace`` deprecation has been announced (the
+#: Whether the ``RunResult.trace`` deprecation has been announced (the
 #: property warns once per process, not once per access).
 _TRACE_DEPRECATION_WARNED = False
 
 
 @dataclass
-class DFSResult:
-    """The output of a semi-external DFS run.
+class RunResult:
+    """The algorithm-neutral output of one semi-external run.
 
     Attributes:
-        tree: the computed DFS-Tree (rooted at the virtual node ``γ``; its
-            non-virtual preorder is the DFS total order).
-        order: DFS total order over the real nodes.
+        tree: the computed spanning tree (rooted at the virtual node
+            ``γ``).  For DFS this is the DFS-Tree; for BFS the BFS-tree.
+        order: total order over the real nodes the run induces (the DFS
+            total order, or the level-sorted BFS visit order).
         algorithm: name of the algorithm that produced the result.
         io: simulated block I/Os consumed by the run.  ``io.reads`` /
             ``io.writes`` are *logical* charges — identical with and
@@ -41,9 +46,8 @@ class DFSResult:
             ``io.checksum_failures`` report what the resilience layer
             absorbed (see :attr:`retries` / :attr:`faults`).
         elapsed_seconds: wall-clock time of the run.
-        passes: restructure passes (full or partial edge-file scans).
-        divisions: successful divisions performed (divide & conquer only).
-        max_depth: deepest recursion level reached (divide & conquer only).
+        passes: full or partial edge-file scans (restructure passes for
+            DFS, relaxation passes for BFS).
         kernel: name of the columnar kernel backend the run executed on
             (``python`` or ``numpy``); benchmarks record it so a result
             is attributable to a code path.
@@ -64,8 +68,6 @@ class DFSResult:
     io: IOSnapshot
     elapsed_seconds: float
     passes: int = 0
-    divisions: int = 0
-    max_depth: int = 0
     kernel: str = "python"
     block_codec: str = "fixed32"
     details: Dict[str, int] = field(default_factory=dict)
@@ -111,8 +113,49 @@ class DFSResult:
         return self.io.compression_ratio
 
     def position_of(self) -> Dict[int, int]:
-        """Map node -> position in the DFS total order."""
+        """Map node -> position in the result's total order."""
         return {node: index for index, node in enumerate(self.order)}
+
+
+@dataclass
+class DFSResult(RunResult):
+    """A :class:`RunResult` from the DFS family.
+
+    Attributes:
+        divisions: successful divisions performed (divide & conquer only).
+        max_depth: deepest recursion level reached (divide & conquer only).
+    """
+
+    divisions: int = 0
+    max_depth: int = 0
+
+
+@dataclass
+class BFSResult(RunResult):
+    """A :class:`RunResult` from semi-external BFS.
+
+    Attributes:
+        levels: per-node BFS level indexed by node id; ``None`` exactly
+            for the nodes unreachable from the start node.
+    """
+
+    levels: List[Optional[int]] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Largest finite level (the start node's eccentricity); 0 when
+        nothing was reached."""
+        finite = [level for level in self.levels if level is not None]
+        return max(finite) if finite else 0
+
+    @property
+    def reached_count(self) -> int:
+        """How many nodes the traversal reached (start node included)."""
+        return sum(1 for level in self.levels if level is not None)
+
+
+#: Result specialization a :meth:`RunContext.finish_result` call builds.
+ResultT = TypeVar("ResultT", bound=RunResult)
 
 
 class RunContext:
@@ -228,26 +271,45 @@ class RunContext:
         self.tracer.detach(self._events)
         self.tracer.bind(None)
 
-    def finish(self, tree: SpanningTree) -> DFSResult:
-        """Package the final tree into a :class:`DFSResult`."""
+    def finish_result(
+        self,
+        factory: Callable[..., ResultT],
+        tree: SpanningTree,
+        order: Optional[List[int]] = None,
+        **extra_fields: object,
+    ) -> ResultT:
+        """Package the final tree into a :class:`RunResult` subclass.
+
+        Fills every algorithm-neutral field from the context (I/O window,
+        elapsed time, pass count, kernel/codec, counters, events) and
+        releases the tracer wiring; ``extra_fields`` carry the
+        specialization's own fields (``divisions=...``, ``levels=...``).
+        ``order`` defaults to the tree's non-virtual preorder.
+        """
         io = self.graph.device.stats.snapshot() - self._start_io
         # repro: allow[SEX302] observational timing metric; never feeds tree construction
         elapsed = time.perf_counter() - self._start_time
         events = list(self._events.events)
         self.release()
-        return DFSResult(
+        return factory(
             tree=tree,
-            order=real_preorder(tree),
+            order=real_preorder(tree) if order is None else order,
             algorithm=self.algorithm,
             io=io,
             elapsed_seconds=elapsed,
             passes=self.passes,
-            divisions=self.divisions,
-            max_depth=self.max_depth,
             kernel=self.graph.device.kernel.name,
             block_codec=self.block_codec,
             details=dict(self.details),
             events=events,
+            **extra_fields,
+        )
+
+    def finish(self, tree: SpanningTree) -> DFSResult:
+        """Package the final tree into a :class:`DFSResult`."""
+        return self.finish_result(
+            DFSResult, tree,
+            divisions=self.divisions, max_depth=self.max_depth,
         )
 
 

@@ -27,7 +27,8 @@ from __future__ import annotations
 import warnings
 from typing import Dict, Optional, Set
 
-from .algorithms.base import DFSResult
+from .algorithms.base import RunResult
+from .algorithms.bfs import semi_external_bfs
 from .algorithms.divide_conquer import divide_star_dfs, divide_td_dfs
 from .algorithms.edge_by_batch import edge_by_batch
 from .algorithms.edge_by_edge import edge_by_edge
@@ -75,15 +76,22 @@ ALGORITHMS.register(AlgorithmSpec(
     description="divide & conquer with top-down (Divide-TD) divisions",
     options=DIVIDE_OPTIONS,
 ))
+ALGORITHMS.register(AlgorithmSpec(
+    name="bfs",
+    runner=semi_external_bfs,
+    description="semi-external BFS by iterated level relaxation (sibling "
+                "traversal; returns a BFSResult)",
+    aliases=("semi-bfs",),
+))
 
 
 def register_algorithm(spec: AlgorithmSpec) -> AlgorithmSpec:
     """Register a third-party algorithm under its name and aliases.
 
     The runner must accept ``(graph, memory, start=..., **options)`` and
-    return a :class:`~repro.algorithms.base.DFSResult`; it becomes
-    available to :func:`semi_external_dfs`, ``repro dfs --algorithm``
-    and ``repro compare`` immediately.
+    return a :class:`~repro.algorithms.base.RunResult` subclass; it
+    becomes available to :func:`semi_external_dfs`, ``repro dfs
+    --algorithm`` and ``repro compare`` immediately.
     """
     return ALGORITHMS.register(spec)
 
@@ -131,8 +139,8 @@ def semi_external_dfs(
     start: Optional[int] = None,
     options: Optional[RunOptions] = None,
     **legacy_options: object,
-) -> DFSResult:
-    """Compute a DFS-Tree of an on-disk graph under a memory budget.
+) -> RunResult:
+    """Run a registered semi-external traversal under a memory budget.
 
     Args:
         graph: the graph (node count in memory, edges on disk).
@@ -140,9 +148,9 @@ def semi_external_dfs(
             (the semi-external assumption).
         algorithm: a registered name or alias — ``edge-by-edge``,
             ``edge-by-batch`` / ``semi-dfs``, ``divide-star``,
-            ``divide-td``, or anything added via
+            ``divide-td``, ``bfs`` / ``semi-bfs``, or anything added via
             :func:`register_algorithm`.
-        start: optional start node for the DFS.
+        start: optional start node for the traversal.
         options: typed run options; fields explicitly set but not
             supported by the chosen algorithm raise ``ValueError``.
             See docs/API.md for the per-algorithm option table.
@@ -151,9 +159,11 @@ def semi_external_dfs(
             once per name.
 
     Returns:
-        A :class:`~repro.algorithms.base.DFSResult` with the tree, the DFS
-        total order, the measured I/O and pass counts, and the recorded
-        span events.
+        A :class:`~repro.algorithms.base.RunResult` with the tree, the
+        induced node order, the measured I/O and pass counts, and the
+        recorded span events — a
+        :class:`~repro.algorithms.base.DFSResult` for the DFS family, a
+        :class:`~repro.algorithms.base.BFSResult` for ``bfs``.
     """
     spec = ALGORITHMS.spec(algorithm)
     resolved = options if options is not None else RunOptions()

@@ -145,7 +145,7 @@ def run_cell(
         return CellResult(
             x=x, algorithm=algorithm,
             time_seconds=result.elapsed_seconds, ios=result.io.total,
-            passes=result.passes, divisions=result.divisions,
+            passes=result.passes, divisions=getattr(result, "divisions", 0),
             node_count=node_count, edge_count=graph.edge_count,
             kernel=result.kernel,
             retries=result.io.retries, faults=result.io.faults,

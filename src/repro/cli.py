@@ -6,6 +6,8 @@ Commands:
   edge list.
 * ``dfs`` — semi-external DFS over a text edge list; prints cost metrics
   and optionally the DFS order.
+* ``bfs`` — semi-external BFS; prints pass/level metrics and optionally
+  the per-node levels and parents.
 * ``toposort`` — semi-external topological sort of a DAG edge list.
 * ``scc`` — semi-external strongly connected components (Kosaraju).
 * ``bench`` — run one paper experiment and print its figure tables.
@@ -152,8 +154,9 @@ def _command_dfs(args: argparse.Namespace) -> int:
         print(
             f"{result.algorithm}: time={result.elapsed_seconds:.2f}s "
             f"io={result.io.total} (r={result.io.reads} w={result.io.writes}) "
-            f"passes={result.passes} divisions={result.divisions} "
-            f"depth={result.max_depth} kernel={result.kernel} "
+            f"passes={result.passes} "
+            f"divisions={getattr(result, 'divisions', 0)} "
+            f"depth={getattr(result, 'max_depth', 0)} kernel={result.kernel} "
             f"retries={result.retries} faults={result.faults}"
         )
         if trace_sink is not None:
@@ -188,6 +191,68 @@ def _command_dfs(args: argparse.Namespace) -> int:
         else:
             preview = " ".join(map(str, result.order[:12]))
             print(f"DFS order: {preview} ...")
+    return 0
+
+
+def _command_bfs(args: argparse.Namespace) -> int:
+    """Semi-external BFS: levels summary, optional node/level/parent dump."""
+    fault_plan = _resolve_fault_plan(args)
+    tracer: Optional[Tracer] = None
+    trace_sink: Optional[JSONLSink] = None
+    if args.trace_out or args.profile:
+        tracer = Tracer()
+        if args.trace_out:
+            trace_sink = JSONLSink(args.trace_out)
+            tracer.attach(trace_sink)
+    with BlockDevice(
+        block_elements=args.block_size, kernel=args.kernel,
+        fault_plan=fault_plan, block_codec=args.block_codec,
+    ) as device:
+        graph = load_edge_list(args.input, device, node_count=args.nodes)
+        memory = _resolve_memory(args, graph.node_count, graph.edge_count)
+        print(
+            f"graph: n={graph.node_count} m={graph.edge_count} "
+            f"blocks={graph.edge_file.block_count}  M={memory}"
+        )
+        try:
+            result = semi_external_dfs(
+                graph, memory, algorithm="bfs", start=args.start,
+                options=RunOptions(tracer=tracer),
+            )
+        finally:
+            if trace_sink is not None:
+                trace_sink.close()
+        print(
+            f"bfs: time={result.elapsed_seconds:.2f}s "
+            f"io={result.io.total} (r={result.io.reads} w={result.io.writes}) "
+            f"passes={result.passes} depth={result.depth} "
+            f"reached={result.reached_count}/{graph.node_count} "
+            f"kernel={result.kernel} "
+            f"retries={result.retries} faults={result.faults}"
+        )
+        if trace_sink is not None:
+            print(
+                f"trace: {trace_sink.events_written} span events written "
+                f"to {args.trace_out}"
+            )
+        if args.profile and tracer is not None:
+            print(render_profile(result.events, tracer.metrics))
+        if args.output:
+            # repro: allow[SEX101] user-facing result text, not modelled block I/O
+            with open(args.output, "w", encoding="utf-8") as handle:
+                for node, level in enumerate(result.levels):
+                    parent = result.tree.parent.get(node)
+                    if level is None or parent == result.tree.root:
+                        parent = -1
+                    shown = -1 if level is None else level
+                    handle.write(f"{node} {shown} {parent}\n")
+            print(f"BFS levels written to {args.output}")
+        else:
+            preview = " ".join(
+                "-" if level is None else str(level)
+                for level in result.levels[:12]
+            )
+            print(f"levels: {preview} ...")
     return 0
 
 
@@ -227,7 +292,8 @@ def _command_compare(args: argparse.Namespace) -> int:
                 continue
             print(
                 f"{algorithm:14s} {result.elapsed_seconds:7.2f}s "
-                f"{result.io.total:8d} {result.passes:6d} {result.divisions:4d}"
+                f"{result.io.total:8d} {result.passes:6d} "
+                f"{getattr(result, 'divisions', 0):4d}"
             )
     return 0
 
@@ -349,6 +415,20 @@ def build_parser() -> argparse.ArgumentParser:
     dfs.add_argument("--profile", action="store_true",
                      help="print a per-phase time/I/O profile after the run")
     dfs.set_defaults(handler=_command_dfs)
+
+    bfs = commands.add_parser(
+        "bfs", help="semi-external BFS (levels + sealed BFS-tree artifact)"
+    )
+    _add_common_graph_arguments(bfs)
+    bfs.add_argument("--start", type=int, default=None,
+                     help="BFS source node (default 0)")
+    bfs.add_argument("--output",
+                     help="write 'node level parent' lines here (-1 = none)")
+    bfs.add_argument("--trace-out",
+                     help="write span events as JSON-Lines to this file")
+    bfs.add_argument("--profile", action="store_true",
+                     help="print a per-phase time/I/O profile after the run")
+    bfs.set_defaults(handler=_command_bfs)
 
     compare = commands.add_parser(
         "compare", help="run all algorithms on one graph and compare costs"

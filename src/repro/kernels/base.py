@@ -96,6 +96,31 @@ class Kernel(Protocol):
         or ``None`` to decline it (caller falls back to the python kernel).
         """
 
+    def make_level_column(self, levels: Any) -> Any:
+        """Freeze a per-node level sequence (``-1`` = unreached) into the
+        backend's native column for :meth:`relax_levels`.
+
+        The BFS relaxation pass reads levels through this snapshot so a
+        pass's proposals depend only on the levels *entering* the pass —
+        the property that makes the result independent of block
+        boundaries, codecs, and backends.
+        """
+
+    def relax_levels(
+        self, level_col: Any, u_col: Any, v_col: Any
+    ) -> List[Tuple[int, int, int]]:
+        """One BFS relaxation step over a block of edges.
+
+        For every edge ``(u, v)`` with ``u`` reached, the candidate level
+        of ``v`` is ``level[u] + 1``; an edge *improves* ``v`` when ``v``
+        is unreached or the candidate beats ``v``'s frozen level.  Returns
+        one ``(v, level, parent)`` triple of python ints per improved
+        destination, sorted by ``v`` ascending, where ``level`` is the
+        block's minimal candidate for ``v`` and ``parent`` is the tail of
+        the *first edge in scan order* achieving it — the deterministic
+        tie-break both backends must reproduce bit-for-bit.
+        """
+
     def route_edges(
         self, owner_index: Any, u_col: Any, v_col: Any
     ) -> List[Tuple[int, Any, Any]]:

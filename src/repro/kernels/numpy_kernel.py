@@ -221,6 +221,56 @@ class NumpyKernel:
             zip(u_col[positions].tolist(), v_col[positions].tolist())
         )
 
+    # -- BFS relaxation ------------------------------------------------
+    def make_level_column(
+        self, levels: "npt.ArrayLike"
+    ) -> "npt.NDArray[np.int64]":
+        """Freeze the level sequence into an int64 column (-1 = unreached).
+
+        int64 so ``level + 1`` can never wrap, and so the column doubles
+        as a fancy index into itself without casts.
+        """
+        return np.asarray(levels, dtype=np.int64)
+
+    def relax_levels(
+        self,
+        level_col: "npt.NDArray[np.int64]",
+        u_col: "npt.NDArray[np.int32]",
+        v_col: "npt.NDArray[np.int32]",
+    ) -> List[Tuple[int, int, int]]:
+        """Vectorized twin of ``PythonKernel.relax_levels``.
+
+        The lexsort orders each destination's improving edges by
+        (candidate level, scan position), so the first row of every
+        ``v``-group is exactly the scalar loop's strictly-less winner:
+        the minimal candidate, achieved by the earliest edge in scan
+        order.
+        """
+        if len(u_col) == 0:
+            return []
+        level_u = level_col[u_col]
+        level_v = level_col[v_col]
+        candidate = level_u + 1
+        improves = (level_u >= 0) & ((level_v < 0) | (candidate < level_v))
+        if not improves.any():
+            return []
+        positions = np.nonzero(improves)[0]
+        vs = v_col[positions]
+        candidates = candidate[positions]
+        order = np.lexsort((positions, candidates, vs))
+        vs_sorted = vs[order]
+        first_of_group = np.empty(len(order), dtype=bool)
+        first_of_group[0] = True
+        first_of_group[1:] = vs_sorted[1:] != vs_sorted[:-1]
+        winners = order[first_of_group]
+        return list(
+            zip(
+                vs[winners].tolist(),
+                candidates[winners].tolist(),
+                u_col[positions][winners].tolist(),
+            )
+        )
+
     def make_owner_index(
         self, owner: Mapping[int, int]
     ) -> Optional["npt.NDArray[np.int64]"]:

@@ -180,6 +180,43 @@ class PythonKernel:
                 cross.append((u, v))  # backward-cross
         return cross
 
+    # -- BFS relaxation ------------------------------------------------
+    def make_level_column(self, levels: Sequence[int]) -> "array[int]":
+        """Freeze the level sequence into an int32 column (-1 = unreached)."""
+        try:
+            return array(_TYPECODE, levels)
+        except OverflowError:
+            raise ValueError("level out of int32 range") from None
+
+    def relax_levels(
+        self,
+        level_col: "array[int]",
+        u_col: Sequence[int],
+        v_col: Sequence[int],
+    ) -> List[Tuple[int, int, int]]:
+        """Scalar BFS relaxation; the semantics oracle for the numpy twin.
+
+        The strictly-less replacement rule keeps the *first* scan-order
+        tail among equal minimal candidates, because a later edge with the
+        same candidate never displaces the stored one.
+        """
+        best: Dict[int, Tuple[int, int]] = {}
+        for u, v in zip(u_col, v_col):
+            level_u = level_col[u]
+            if level_u < 0:
+                continue
+            candidate = level_u + 1
+            level_v = level_col[v]
+            if 0 <= level_v <= candidate:
+                continue
+            previous = best.get(v)
+            if previous is None or candidate < previous[0]:
+                best[v] = (candidate, u)
+        return [
+            (v, candidate, parent)
+            for v, (candidate, parent) in sorted(best.items())
+        ]
+
     def make_owner_index(self, owner: Mapping[int, int]) -> Dict[int, int]:
         """Routing index is the ``{node: part}`` dict itself (never declines)."""
         return dict(owner)

@@ -26,9 +26,11 @@ from .metrics import Metrics
 #: inside another one from the set, so their I/O deltas partition the
 #: run's total charge.  ``sgraph``/``partition``/``cut-tree`` nest inside
 #: ``divide`` and ``part`` wraps whole recursions — they attribute finer
-#: detail but must not be double-counted into phase totals.
+#: detail but must not be double-counted into phase totals.  ``relax`` is
+#: the BFS sibling of ``restructure``: one span per level-relaxation
+#: pass over the edge file.
 LEAF_PHASES: "frozenset[str]" = frozenset(
-    {"restructure", "divide", "solve", "merge", "checkpoint", "sort"}
+    {"restructure", "divide", "solve", "merge", "checkpoint", "sort", "relax"}
 )
 
 

@@ -25,11 +25,13 @@ from typing import (
 )
 
 if TYPE_CHECKING:
-    from .algorithms.base import DFSResult
+    from .algorithms.base import RunResult
 
 #: The runner signature every registered algorithm implements:
-#: ``runner(graph, memory, start=..., **option_kwargs) -> DFSResult``.
-AlgorithmRunner = Callable[..., "DFSResult"]
+#: ``runner(graph, memory, start=..., **option_kwargs) -> RunResult``
+#: (a :class:`~repro.algorithms.base.DFSResult` for the DFS family, a
+#: :class:`~repro.algorithms.base.BFSResult` for semi-external BFS).
+AlgorithmRunner = Callable[..., "RunResult"]
 
 #: Options every algorithm understands.
 BASE_OPTIONS = frozenset(

@@ -1,0 +1,101 @@
+"""Conformance gate for the BFS module.
+
+Two halves: the shipped ``repro/algorithms/bfs.py`` must pass every
+SEX1xx–SEX5xx rule with zero violations and zero waivers, and fixture
+snippets prove the rules *would* fire on the BFS-shaped ways of breaking
+them — materializing the level frontier from a scan, reading the wall
+clock for convergence, iterating the improved-set in hash order, and so
+on.  Together they show the clean bill of health is earned, not vacuous.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_file, analyze_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BFS_PATH = REPO_ROOT / "src" / "repro" / "algorithms" / "bfs.py"
+
+
+class TestShippedModule:
+    def test_bfs_module_has_no_violations(self):
+        violations = analyze_file(str(BFS_PATH))
+        details = "\n".join(v.render() for v in violations)
+        assert violations == [], f"bfs.py conformance violations:\n{details}"
+
+    def test_bfs_module_needs_no_waivers(self):
+        # the clean result must not be bought with inline allow-comments
+        source = BFS_PATH.read_text(encoding="utf-8")
+        assert "repro: allow[" not in source
+
+    def test_bfs_module_is_inside_the_gate(self):
+        """Scoped rules must actually apply to the module's model path —
+        a snippet with a core-scoped violation at bfs.py's path fires."""
+        violations = analyze_source(
+            "edges = list(edge_file.scan_columns())\n",
+            "repro/algorithms/bfs.py",
+        )
+        assert [v.code for v in violations] == ["SEX201"]
+
+
+class TestBfsShapedViolationsWouldFire:
+    """Each fixture is a realistic wrong way to write this algorithm."""
+
+    def test_materializing_the_edge_scan(self, check):
+        source = """\
+        def relax_pass(edge_file, levels):
+            for u, v in list(edge_file.scan_columns()):
+                pass
+        """
+        assert check(source) == ["SEX201"]
+
+    def test_comprehension_frontier_over_scan(self, check):
+        source = """\
+        frontier = [v for u, v in edge_file.scan() if levels[u] >= 0]
+        """
+        assert check(source) == ["SEX202"]
+
+    def test_read_all_for_one_pass(self, check):
+        source = "columns = edge_file.read_all()\n"
+        assert check(source) == ["SEX203"]
+
+    def test_wall_clock_convergence_deadline(self, check):
+        source = """\
+        import time
+
+        def converged(started):
+            return time.time() - started > 5.0
+        """
+        assert check(source) == ["SEX302"]
+
+    def test_hash_order_frontier_iteration(self, check):
+        source = """\
+        def apply(proposals) -> None:
+            for v in set(proposals):
+                levels[v] = proposals[v]
+        """
+        assert check(source) == ["SEX303"]
+
+    def test_direct_open_for_level_checkpoint(self, check):
+        source = """\
+        def checkpoint(levels):
+            with open("levels.bin", "wb") as f:
+                f.write(bytes(levels))
+        """
+        assert check(source) == ["SEX101"]
+
+    def test_bare_except_around_relax(self, check):
+        source = """\
+        try:
+            relax()
+        except:
+            pass
+        """
+        # the bare handler fires SEX401; its silent ``pass`` body
+        # additionally fires the SEX404 swallow rule
+        assert check(source) == ["SEX401", "SEX404"]
+
+    def test_pool_import_outside_scheduler(self, check):
+        source = "import multiprocessing\n"
+        assert check(source) == ["SEX501"]

@@ -13,7 +13,9 @@ from repro import DiskGraph, RunOptions, Tracer, semi_external_dfs
 from repro.graph import random_graph
 from repro.obs import phase_totals
 
-ALGORITHM_NAMES = ["edge-by-edge", "edge-by-batch", "divide-star", "divide-td"]
+ALGORITHM_NAMES = [
+    "edge-by-edge", "edge-by-batch", "divide-star", "divide-td", "bfs",
+]
 
 
 def run(device, algorithm, tracer=None, nodes=80, degree=4, seed=11):

@@ -64,6 +64,7 @@ class TestPhaseTotals:
     def test_leaf_phases_inventory(self):
         assert LEAF_PHASES == {
             "restructure", "divide", "solve", "merge", "checkpoint", "sort",
+            "relax",
         }
 
 

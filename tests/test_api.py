@@ -17,23 +17,35 @@ class TestFacade:
             "semi-dfs",
             "divide-star",
             "divide-td",
+            "bfs",
+            "semi-bfs",
         }
 
     def test_semi_dfs_aliases_edge_by_batch(self):
         assert repro.ALGORITHMS["semi-dfs"] is repro.ALGORITHMS["edge-by-batch"]
+
+    def test_semi_bfs_aliases_bfs(self):
+        assert repro.ALGORITHMS["semi-bfs"] is repro.ALGORITHMS["bfs"]
 
     @pytest.mark.parametrize("name", sorted(repro.ALGORITHMS))
     def test_every_registered_algorithm_runs(self, device, name):
         graph = random_graph(60, 3, seed=1)
         disk = DiskGraph.from_digraph(device, graph)
         result = semi_external_dfs(disk, memory=3 * 60 + 100, algorithm=name)
-        assert_valid_dfs_result(result, disk, graph)
+        if name in ("bfs", "semi-bfs"):
+            # BFS trees legitimately contain forward-cross edges; the
+            # DFS validity oracle does not apply.  Check the neutral
+            # contract: a permutation order and a level for node 0.
+            assert sorted(result.order) == list(range(60))
+            assert result.levels[0] == 0
+        else:
+            assert_valid_dfs_result(result, disk, graph)
 
     def test_unknown_algorithm_rejected(self, device):
         graph = random_graph(10, 2, seed=2)
         disk = DiskGraph.from_digraph(device, graph)
         with pytest.raises(ValueError, match="unknown algorithm"):
-            semi_external_dfs(disk, memory=100, algorithm="bfs")
+            semi_external_dfs(disk, memory=100, algorithm="ifs")
 
     def test_options_forwarded(self, device):
         graph = random_graph(40, 3, seed=3)

@@ -107,6 +107,47 @@ class TestDFS:
         assert "restructure" in out
 
 
+class TestBFS:
+    def test_bfs_summary_line(self, graph_file, capsys):
+        assert main(["bfs", "--input", graph_file,
+                     "--memory-ratio", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs:" in out
+        assert "passes=" in out
+        assert "depth=" in out
+        assert "reached=" in out
+        assert "levels:" in out
+
+    def test_bfs_levels_output_file(self, graph_file, tmp_path, capsys):
+        levels_path = str(tmp_path / "levels.txt")
+        assert main(["bfs", "--input", graph_file, "--output", levels_path,
+                     "--memory-ratio", "0.3"]) == 0
+        assert "BFS levels written" in capsys.readouterr().out
+        with open(levels_path) as handle:
+            rows = [line.split() for line in handle]
+        assert len(rows) == 400
+        assert rows[0] == ["0", "0", "-1"]  # start: level 0, parent γ → -1
+        for node, (shown_node, level, parent) in enumerate(rows):
+            assert int(shown_node) == node
+            assert int(level) >= -1 and int(parent) >= -1
+
+    def test_bfs_start_node(self, graph_file, capsys):
+        assert main(["bfs", "--input", graph_file, "--start", "17",
+                     "--memory-ratio", "0.3"]) == 0
+        assert "depth=" in capsys.readouterr().out
+
+    def test_bfs_insufficient_memory_reports_error(self, graph_file, capsys):
+        assert main(["bfs", "--input", graph_file, "--memory", "100"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bfs_profile_prints_relax_phase(self, graph_file, capsys):
+        assert main(["bfs", "--input", graph_file, "--memory-ratio", "0.3",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (per span path" in out
+        assert "relax" in out
+
+
 class TestApps:
     def test_toposort(self, tmp_path, capsys):
         path = str(tmp_path / "dag.txt")
@@ -150,6 +191,7 @@ class TestCompare:
         assert "edge-by-batch" in out
         assert "divide-star" in out
         assert "divide-td" in out
+        assert "bfs" in out
         assert "passes" in out
 
     def test_compare_includes_edge_by_edge_on_request(self, graph_file, capsys):
