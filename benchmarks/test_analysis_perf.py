@@ -1,0 +1,86 @@
+"""Conformance-checker performance: cold analysis vs warm cache replay.
+
+The flow-sensitive engine (CFG construction + fixpoint taint solves per
+function) made a full-tree run meaningfully heavier than the old
+per-statement lint, which is exactly what the content-hash result cache
+exists to absorb: a warm run re-reads and re-hashes every source but
+replays stored verdicts instead of re-solving.  This benchmark times
+both modes over ``src/`` and gates the cache at >= 2x, persisting the
+trajectory to ``benchmarks/results/BENCH_analysis_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from typing import Dict
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.engine import run_analysis
+
+from conftest import RESULTS_DIR
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: A warm (all-hit) run must beat a cold run by at least this factor.
+WARM_SPEEDUP_FLOOR = 2.0
+
+
+def _timed_run(cache_dir: str) -> Dict[str, float]:
+    cache = ResultCache(cache_dir)
+    started = time.perf_counter()
+    report = run_analysis([SRC], cache=cache)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "files": report.files_checked,
+        "violations": len(report.violations),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+    }
+
+
+def test_analysis_cold_vs_warm(report_text, tmp_path):
+    """Cold full analysis vs warm cache replay over the real src tree."""
+    cache_dir = str(tmp_path / "analysis-cache")
+
+    cold = _timed_run(cache_dir)
+    warm = _timed_run(cache_dir)
+
+    # Identical verdicts either way, and the warm run replayed all files.
+    assert warm["violations"] == cold["violations"]
+    assert warm["files"] == cold["files"] > 40
+    assert warm["cache_misses"] == 0
+    assert warm["cache_hits"] == warm["files"]
+
+    speedup = cold["seconds"] / max(warm["seconds"], 1e-9)
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm cache run only {speedup:.2f}x faster than cold "
+        f"(cold {cold['seconds']:.3f}s, warm {warm['seconds']:.3f}s); "
+        f"the result cache must deliver >= {WARM_SPEEDUP_FLOOR}x"
+    )
+
+    results = {
+        "cold": cold,
+        "warm": warm,
+        "speedup": speedup,
+        "speedup_floor": WARM_SPEEDUP_FLOOR,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_analysis_perf.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+
+    report_text("analysis_perf", "\n".join([
+        "conformance checker: cold analysis vs warm cache replay (src/)",
+        f"  cold: {cold['seconds']:.3f}s over {cold['files']} files "
+        f"({cold['cache_misses']} misses)",
+        f"  warm: {warm['seconds']:.3f}s over {warm['files']} files "
+        f"({warm['cache_hits']} hits)",
+        f"  speedup: {speedup:.2f}x (floor {WARM_SPEEDUP_FLOOR:.1f}x)",
+    ]))
+
+    shutil.rmtree(cache_dir, ignore_errors=True)

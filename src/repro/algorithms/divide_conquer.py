@@ -26,11 +26,11 @@ from ..graph.disk_graph import DiskGraph
 from ..obs import Tracer
 from ..storage.buffer_pool import MemoryBudget
 from ..storage.edge_file import EdgeFile
-from ..core.inmemory import dfs_preferring_tree
+from ..core.inmemory import adjacency_from_edge_file, dfs_preferring_tree
 from ..core.tree import SpanningTree
 from .base import DFSResult, RunContext, default_max_passes, initial_star_tree
 from .cut_tree import build_cut_tree, star_cut
-from .division import divide_with_cut
+from .division import Division, divide_with_cut
 from .merge import merge_division, splice_non_root_virtuals
 from .restructure import restructure
 
@@ -56,22 +56,81 @@ def td_strategy(tree: SpanningTree, budget: MemoryBudget) -> Tuple[Set[int], Set
 def _solve_in_memory(
     edge_file: EdgeFile, tree: SpanningTree, context: RunContext
 ) -> SpanningTree:
-    """Base case: ``|G_i| <= M`` — load the edges and DFS once in memory."""
-    extra: Dict[int, List[int]] = {}
-    for u_col, v_col in edge_file.scan_columns():
-        # tolist() re-materializes backend columns (numpy ndarray or
-        # stdlib array) as plain python ints in one call, keeping foreign
-        # int types out of the adjacency dict and the tree.
-        for u, v in zip(u_col.tolist(), v_col.tolist()):
-            if u == v:
-                continue
-            targets = extra.get(u)
-            if targets is None:
-                extra[u] = [v]
-            else:
-                targets.append(v)
+    """Base case: ``|G_i| <= M`` — load the edges and DFS once in memory.
+
+    The materialization happens in the designated in-memory solver
+    (:func:`~repro.core.inmemory.adjacency_from_edge_file`), the one
+    place the conformance checker permits it: the recursion only gets
+    here after proving the part fits the budget.
+    """
+    extra = adjacency_from_edge_file(edge_file)
     context.bump("inmemory_solves")
     return dfs_preferring_tree(tree, extra)
+
+
+def _first_real_node(tree: SpanningTree) -> Optional[int]:
+    """The first non-virtual node in preorder — the restart-priority head.
+
+    This is the node a priority-respecting DFS visits first: the start
+    hint at the top level, the part root (or first contracted member) in
+    a recursive call.  Restructure and the in-memory solve both preserve
+    it, so it is the invariant a division must not break.
+    """
+    for node in tree.preorder():
+        if not tree.is_virtual(node):
+            return node
+    return None
+
+
+def _division_first_real(division: Division) -> Optional[int]:
+    """The first real node the *merged* tree would visit.
+
+    Simulates merge step 1 without building anything: descend ``T_0``
+    from the root, at each level taking the child that the
+    priority-respecting reverse topological order of Σ ranks first.  A
+    part leaf resolves to its part's first real node (the recursion
+    preserves it, by the same invariant this check enforces).
+    """
+    t0 = division.t0
+    priority: Dict[int, int] = {
+        node: rank for rank, node in enumerate(t0.preorder())
+    }
+    rank_of: Dict[int, int] = {
+        node: rank
+        for rank, node in enumerate(
+            division.sigma.reverse_topological_order(priority)
+        )
+    }
+    head_of_part: Dict[int, Optional[int]] = {
+        part.root: (part.real_nodes[0] if part.real_nodes else None)
+        for part in division.parts
+    }
+    node: Optional[int] = t0.root
+    while node is not None:
+        if node in head_of_part:
+            return head_of_part[node]
+        if not t0.is_virtual(node):
+            return node
+        children = t0.child_list(node)
+        if not children:
+            return None
+        node = min(children, key=lambda child: rank_of[child])
+    return None
+
+
+def _discard_division(division: Division, tree: SpanningTree) -> None:
+    """Undo a vetoed division: drop its part files and its virtuals.
+
+    The part files are this level's only disk residue (the parent edge
+    file is still intact — it is deleted only after a division is
+    *accepted*).  Contraction virtuals that step 2 spliced into the
+    spanning tree are removed again so repeated vetoes cannot grow a
+    chain of dead virtual nodes across restructure passes.
+    """
+    for part in division.parts:
+        part.edge_file.delete()
+        if tree.is_virtual(part.root) and part.root in tree.parent:
+            tree.splice_out(part.root)
 
 
 def _divide_conquer(
@@ -150,6 +209,7 @@ def _divide_conquer(
         # division within 8 passes of it becoming possible.
         if level_passes < next_attempt:
             continue
+        head = _first_real_node(tree)
         with context.tracer.span("cut-tree", depth=depth):
             cut_nodes, expanded = strategy(tree, budget)
         with context.tracer.span(
@@ -168,6 +228,16 @@ def _divide_conquer(
                         (p.size for p in division.parts), reverse=True
                     ),
                 )
+        if division is not None and _division_first_real(division) != head:
+            # Σ forces another part before the restart-priority head (an
+            # S-edge out of the head's subtree into a sibling part): no
+            # sibling permutation can honour the start hint under this
+            # division.  Discard it and keep restructuring — the next
+            # rebuild re-parents the offending target *under* the head's
+            # subtree, exactly as the baselines resolve it.
+            _discard_division(division, tree)
+            context.bump("divisions_vetoed")
+            division = None
         if division is None:
             next_attempt = level_passes + min(max(level_passes, 1), 8)
 

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..errors import ReproError
 from ..kernels import resolve_kernel
 from ..obs import NULL_TRACER, Tracer
 from ..storage.edge_file import EdgeFile, PartitionWriter
@@ -228,15 +229,23 @@ def divide_with_cut(
         route_convert = route_kernel is not device.kernel
         partition_span.annotate(kernel=route_kernel.name)
         writer = PartitionWriter(device, [i for i, _ in part_meta])
-        route = route_kernel.route_edges
-        for u_col, v_col in edge_file.scan_columns():
-            if route_convert:
-                u_col, v_col = route_kernel.make_columns(u_col, v_col)
-            for part_key, part_u_col, part_v_col in route(
-                owner_index, u_col, v_col
-            ):
-                writer.route_columns(part_key, part_u_col, part_v_col)
-        part_files = writer.seal()
+        try:
+            route = route_kernel.route_edges
+            for u_col, v_col in edge_file.scan_columns():
+                if route_convert:
+                    u_col, v_col = route_kernel.make_columns(u_col, v_col)
+                for part_key, part_u_col, part_v_col in route(
+                    owner_index, u_col, v_col
+                ):
+                    writer.route_columns(part_key, part_u_col, part_v_col)
+            part_files = writer.seal()
+        except ReproError:
+            # A fault mid-routing (injected block fault, retries
+            # exhausted, budget trip) must not strand half-written part
+            # files on the device: the caller retries the whole division
+            # against the intact parent edge file.
+            writer.discard()
+            raise
 
     parts: List[Part] = []
     for part_index, leaf in part_meta:

@@ -55,14 +55,25 @@ def merge_division(division: Division, part_trees: List[SpanningTree]) -> Spanni
     """
     merged = division.t0.copy()
 
-    # Step 1: reverse-topological sibling order.
-    topo_position: Dict[int, int] = {
-        node: position for position, node in enumerate(division.sigma.topological_order())
+    # Step 1: reverse-topological sibling order.  The reverse topological
+    # order is computed with the *current* sibling priority as the
+    # tie-break (T_0's preorder rank), so wherever Σ leaves two siblings
+    # unordered they keep their existing relative order — in particular
+    # the start-node hint, which lives entirely in γ's child order,
+    # survives division and reassembly instead of being re-sorted by id.
+    priority: Dict[int, int] = {
+        node: rank for rank, node in enumerate(merged.preorder())
+    }
+    sibling_rank: Dict[int, int] = {
+        node: rank
+        for rank, node in enumerate(
+            division.sigma.reverse_topological_order(priority)
+        )
     }
     for node in list(merged.preorder()):
         children = merged.child_list(node)
         if len(children) > 1:
-            children.sort(key=lambda child: -topo_position[child])
+            children.sort(key=lambda child: sibling_rank[child])
             merged.reorder_children(node, children)
 
     # Step 2: graft each part tree at its T_0 leaf.

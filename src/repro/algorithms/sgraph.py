@@ -11,7 +11,7 @@ merges each multi-node SCC of ``Σ`` under a fresh virtual node.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import InvalidDivisionError
 from ..core.classify import IntervalIndex
@@ -63,6 +63,26 @@ class SummaryGraph:
         """A deterministic topological order of Σ (must be a DAG)."""
         ordered = {node: sorted(targets) for node, targets in self.adjacency.items()}
         return topological_sort(self.nodes, ordered)
+
+    def reverse_topological_order(
+        self, priority: Optional[Dict[int, int]] = None
+    ) -> List[int]:
+        """A deterministic *reverse* topological order of Σ (must be a DAG).
+
+        Every S-edge ``a -> b`` places ``b`` before ``a``, which is exactly
+        the sibling order the merge step needs (potential forward-cross
+        S-edges become backward-cross).  ``priority`` ranks the nodes among
+        which the DAG leaves the order free — the merge passes the current
+        sibling order so an unconstrained start-node hint survives division
+        and reassembly instead of being re-sorted by node id.
+        """
+        reversed_adjacency: Dict[int, List[int]] = {node: [] for node in self.nodes}
+        for source, targets in self.adjacency.items():
+            for target in targets:
+                reversed_adjacency[target].append(source)
+        for targets_list in reversed_adjacency.values():
+            targets_list.sort()
+        return topological_sort(self.nodes, reversed_adjacency, priority=priority)
 
     def contract(self, members: Iterable[int], virtual_node: int) -> None:
         """Node contraction: replace ``members`` by ``virtual_node``.
@@ -170,12 +190,20 @@ def contract_sigma_sccs(
                 f"(parents: {parents})"
             )
         (common_parent,) = parents
-        ordered = [c for c in tree.children(common_parent) if c in members]
+        siblings = tree.child_list(common_parent)
+        ordered = [c for c in siblings if c in members]
         virtual = allocator.allocate()
         tree.add_node(virtual, virtual=True)
         tree.attach(virtual, common_parent)
         for member in ordered:
             tree.reattach(member, virtual)
+        # The virtual takes the *first member's* sibling slot (attach
+        # appended it at the end): sibling order encodes restart priority —
+        # the start-node hint in particular — and a contraction that always
+        # sank the absorbed group to the back would silently demote it.
+        placed = [virtual if c == ordered[0] else c
+                  for c in siblings if c == ordered[0] or c not in members]
+        tree.reorder_children(common_parent, placed)
         sigma.contract(members, virtual)
         contractions.append((virtual, ordered))
     return contractions

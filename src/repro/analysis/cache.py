@@ -1,0 +1,158 @@
+"""Content-hash result cache for the conformance checker.
+
+The cache stores the *net outcome* of analyzing one file — its
+violations and its waiver inventory — keyed by three digests:
+
+* the file's own content hash (``sha256`` of the source text),
+* the **project digest** (a hash over every analyzed file's path and
+  content), because flow rules consult cross-file call summaries: a
+  change anywhere in the project can change another file's verdict, and
+* the **rules fingerprint** (the registered rule inventory plus a cache
+  schema version), so a rule change invalidates every entry.
+
+A warm run with zero misses therefore skips parsing, CFG construction
+and dataflow solving entirely — it reads sources, hashes them, and
+replays the stored entries.  Entries are path-free (locations are
+re-attached from the live path on load), so a cache built in one
+checkout replays in another as long as the tree's *content* matches.
+
+Corrupt, unreadable or schema-mismatched entries degrade to misses;
+the cache never turns an I/O problem into a wrong report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import List, Optional, Tuple
+
+from .diagnostics import Violation, WaiverRecord
+
+#: Bump when the entry shape or the analysis semantics change in a way
+#: the rule inventory does not capture (e.g. a solver fix that alters
+#: verdicts without renaming any rule).
+CACHE_SCHEMA_VERSION = 1
+
+
+def rules_fingerprint() -> str:
+    """Digest of the registered rule inventory (plus the cache schema).
+
+    Renaming, adding, or removing a rule — or editing its summary, which
+    accompanies every behavior change by convention — changes this
+    fingerprint and invalidates the whole cache.
+    """
+    from .rules import META_CODES, RULES
+
+    parts = [f"cache-schema={CACHE_SCHEMA_VERSION}"]
+    for code in sorted(META_CODES):
+        parts.append(f"{code}\t{META_CODES[code]}")
+    for code in sorted(RULES):
+        rule = RULES[code]
+        parts.append(f"{code}\t{rule.name}\t{rule.summary}")
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+CacheEntry = Tuple[List[Violation], List[WaiverRecord]]
+
+
+class ResultCache:
+    """One directory of JSON entries, one entry per (file, project, rules).
+
+    The checker is a dev-time tool reading and writing its own metadata,
+    not graph data, so its file I/O sits outside the block-I/O model it
+    enforces (the same carve-out as the engine's source reader).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.fingerprint = rules_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(directory, exist_ok=True)
+
+    def _entry_path(self, file_digest: str, project_digest: str) -> str:
+        key = hashlib.sha256(
+            f"{self.fingerprint}\n{project_digest}\n{file_digest}".encode("utf-8")
+        ).hexdigest()
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(
+        self, file_digest: str, project_digest: str, path: str
+    ) -> Optional[CacheEntry]:
+        """The stored entry with locations re-attached to ``path``.
+
+        Returns ``None`` — a miss — when no entry exists or the entry
+        cannot be decoded.
+        """
+        entry_path = self._entry_path(file_digest, project_digest)
+        try:
+            with open(entry_path, "r", encoding="utf-8") as handle:  # repro: allow[SEX101] checker metadata is outside the block-I/O model
+                payload = handle.read()
+            data = json.loads(payload)
+            violations = [
+                Violation(
+                    path=path,
+                    line=int(item["line"]),
+                    column=int(item["column"]),
+                    code=str(item["code"]),
+                    message=str(item["message"]),
+                )
+                for item in data["violations"]
+            ]
+            waivers = [
+                WaiverRecord(
+                    path=path,
+                    line=int(item["line"]),
+                    codes=tuple(str(code) for code in item["codes"]),
+                    reason=str(item["reason"]),
+                    used=bool(item["used"]),
+                )
+                for item in data["waivers"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return violations, waivers
+
+    def store(
+        self,
+        file_digest: str,
+        project_digest: str,
+        violations: List[Violation],
+        waivers: List[WaiverRecord],
+    ) -> None:
+        """Persist one file's outcome; best-effort (failures are ignored)."""
+        data = {
+            "violations": [
+                {
+                    "line": v.line,
+                    "column": v.column,
+                    "code": v.code,
+                    "message": v.message,
+                }
+                for v in sorted(violations)
+            ],
+            "waivers": [
+                {
+                    "line": w.line,
+                    "codes": list(w.codes),
+                    "reason": w.reason,
+                    "used": w.used,
+                }
+                for w in waivers
+            ],
+        }
+        entry_path = self._entry_path(file_digest, project_digest)
+        temp_path = entry_path + ".tmp"
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:  # repro: allow[SEX101] checker metadata is outside the block-I/O model
+                json.dump(data, handle, sort_keys=True)
+            os.replace(temp_path, entry_path)
+        except OSError:
+            # A read-only or full cache directory must not fail the run.
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass

@@ -1,0 +1,445 @@
+"""Intraprocedural control-flow graphs from stdlib ``ast``.
+
+One :class:`CFG` node per *statement*, plus three pseudo-nodes: ``ENTRY``
+(before the first statement), ``EXIT`` (every normal way out of the
+function) and ``RAISE`` (the exceptional exit an uncaught exception
+takes).  Edges carry a kind — ``"normal"`` for fallthrough, branch and
+loop edges, ``"exception"`` for may-raise propagation — so a dataflow
+client can apply a different transfer along the exceptional edge (e.g. a
+resource acquired by the very call that raised was never acquired).
+
+Coverage: ``if``/``while``/``for`` (with ``else`` and ``break`` /
+``continue``), ``try``/``except``/``else``/``finally``, ``with``,
+``return``, ``raise``, ``assert``, and ``match``.  ``finally`` bodies
+are **cloned per continuation**, the way the bytecode compiler inlines
+them: one clone on the fallthrough path, one on each abrupt exit
+(``return``/``break``/``continue``) and one on the exceptional path, so
+a release in a ``finally`` is seen on *every* path out of the ``try``.
+
+Exceptional edges are conservative: any statement containing a call, a
+``raise`` or an ``assert`` may raise; it gets an edge to every enclosing
+handler plus — unless some handler is a catch-all — a bypass to the next
+level out (ultimately ``RAISE``).  The builder is syntactic and total:
+anything it does not model precisely degrades to extra may-edges, never
+missing ones, which is the safe direction for the may-analyses built on
+top (leak detection, taint).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union, cast
+
+#: ``ast.Match`` exists only on Python >= 3.10; on 3.9 the tuple is
+#: empty so every ``isinstance`` check against it is simply False
+#: (3.9 sources cannot contain ``match`` statements anyway).
+_AST_MATCH: Any = getattr(ast, "Match", None)
+_MATCH_STMT: Tuple[Any, ...] = (_AST_MATCH,) if _AST_MATCH is not None else ()
+
+#: Pseudo-node ids (statement nodes start at 3).
+ENTRY = 0
+EXIT = 1
+RAISE = 2
+
+#: Edge kinds.
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class CFG:
+    """A statement-level control-flow graph for one function body."""
+
+    name: str
+    statements: Dict[int, ast.stmt] = field(default_factory=dict)
+    succ: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+    pred: Dict[int, List[Tuple[int, str]]] = field(default_factory=dict)
+
+    def nodes(self) -> List[int]:
+        """Every node id: the three pseudo-nodes plus each statement."""
+        return [ENTRY, EXIT, RAISE, *self.statements]
+
+    def exits(self) -> Tuple[int, int]:
+        """The two ways out of the function: ``(EXIT, RAISE)``."""
+        return (EXIT, RAISE)
+
+    def add_edge(self, source: int, target: int, kind: str = NORMAL) -> None:
+        if (target, kind) not in self.succ.setdefault(source, []):
+            self.succ[source].append((target, kind))
+            self.pred.setdefault(target, []).append((source, kind))
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from ``ENTRY`` — the worklist seeding order."""
+        seen = {ENTRY}
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = [(ENTRY, 0)]
+        while stack:
+            node, index = stack[-1]
+            targets = self.succ.get(node, [])
+            if index < len(targets):
+                stack[-1] = (node, index + 1)
+                target = targets[index][0]
+                if target not in seen:
+                    seen.add(target)
+                    stack.append((target, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        return order
+
+
+def may_raise_expr(expr: ast.expr) -> bool:
+    """Whether evaluating ``expr`` may raise (conservative: any call)."""
+    return any(isinstance(node, ast.Call) for node in ast.walk(expr))
+
+
+def may_raise(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` itself can raise (conservative: call/raise/assert).
+
+    Nested function bodies are opaque: their calls run when *they* are
+    called, not at the ``def`` statement.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return any(may_raise_expr(d) for d in stmt.decorator_list)
+    return any(isinstance(node, ast.Call) for node in ast.walk(stmt))
+
+
+def own_expressions(stmt: ast.AST) -> Iterator[ast.expr]:
+    """The expressions evaluated *by this CFG node itself*.
+
+    A compound statement's CFG node represents only its header — the
+    ``if``/``while`` test, the ``for`` iterable, the ``with`` context
+    expressions — while its body statements have CFG nodes of their own.
+    Rules that scan a node's statement for calls or name uses must walk
+    these, not ``ast.walk(stmt)``, or they would re-visit every nested
+    statement with the wrong (pre-header) dataflow state.  Nested
+    function and class definitions yield nothing: their bodies run in a
+    different frame and are analysed separately.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.target
+        yield stmt.iter
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+            if item.optional_vars is not None:
+                yield item.optional_vars
+    elif _MATCH_STMT and isinstance(stmt, _MATCH_STMT):
+        yield cast(Any, stmt).subject
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield from stmt.decorator_list
+    elif isinstance(stmt, (ast.ClassDef, ast.Try)):
+        return
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.type is not None:
+            yield stmt.type
+    else:
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                yield child
+
+
+def _handler_is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        isinstance(t, ast.Name) and t.id in ("Exception", "BaseException")
+        for t in types
+    )
+
+
+@dataclass
+class _UnwindEntry:
+    """One level of the abrupt-exit unwind stack.
+
+    ``return`` unwinds every ``finally`` entry; ``break``/``continue``
+    unwind up to the innermost ``loop`` entry.  Each unwound finalbody
+    is cloned inline at the abrupt site, bytecode-compiler style.
+    """
+
+    kind: str  # "loop" | "finally"
+    loop_head: int = -1
+    break_sink: Optional[List[int]] = None
+    finalbody: Optional[List[ast.stmt]] = None
+
+
+class _Builder:
+    """Builds one :class:`CFG`; one instance per function body."""
+
+    def __init__(self, name: str) -> None:
+        self.cfg = CFG(name=name)
+        self._next_id = 3
+        self._unwind: List[_UnwindEntry] = []
+        # Exception-dispatch stack: (targets, catches_all) — where a
+        # raise at the current depth may land, innermost last.
+        self._handlers: List[Tuple[List[int], bool]] = []
+
+    def new_node(self, stmt: ast.stmt) -> int:
+        node = self._next_id
+        self._next_id += 1
+        self.cfg.statements[node] = stmt
+        return node
+
+    def exception_targets(self) -> List[int]:
+        targets: List[int] = []
+        for handler_nodes, catches_all in reversed(self._handlers):
+            targets.extend(handler_nodes)
+            if catches_all:
+                return targets
+        targets.append(RAISE)
+        return targets
+
+    def wire_exception(self, node: int) -> None:
+        for target in self.exception_targets():
+            self.cfg.add_edge(node, target, EXCEPTION)
+
+    # ------------------------------------------------------------------
+    def build(self, body: List[ast.stmt]) -> CFG:
+        for tail in self.sequence(body, [ENTRY]):
+            self.cfg.add_edge(tail, EXIT)
+        return self.cfg
+
+    def sequence(self, body: List[ast.stmt], entries: List[int]) -> List[int]:
+        """Wire ``body`` after ``entries``; returns the fallthrough tails."""
+        current = entries
+        for stmt in body:
+            current = self.statement(stmt, current)
+        return current
+
+    def _unwind_finallies(self, tails: List[int], through: str) -> List[int]:
+        """Clone enclosing finally bodies at an abrupt exit site.
+
+        ``through="loop"`` stops at the innermost loop (break/continue);
+        ``through="all"`` unwinds everything (return).
+        """
+        for entry in reversed(self._unwind):
+            if entry.kind == "loop" and through == "loop":
+                break
+            if entry.kind == "finally" and entry.finalbody is not None:
+                tails = self.sequence(
+                    [copy.deepcopy(s) for s in entry.finalbody], tails
+                )
+        return tails
+
+    def statement(self, stmt: ast.stmt, entries: List[int]) -> List[int]:
+        """Wire one statement; returns the nodes that fall through it."""
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, entries)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, entries)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, entries)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, entries)
+        if _MATCH_STMT and isinstance(stmt, _MATCH_STMT):
+            return self._match(stmt, entries)
+
+        node = self.new_node(stmt)
+        for entry in entries:
+            self.cfg.add_edge(entry, node)
+        if may_raise(stmt):
+            self.wire_exception(node)
+
+        if isinstance(stmt, ast.Return):
+            for tail in self._unwind_finallies([node], through="all"):
+                self.cfg.add_edge(tail, EXIT)
+            return []
+        if isinstance(stmt, ast.Raise):
+            return []  # only the exception edges leave a raise
+        if isinstance(stmt, ast.Break):
+            tails = self._unwind_finallies([node], through="loop")
+            sink = self._innermost_break_sink()
+            if sink is not None:
+                sink.extend(tails)
+            return []
+        if isinstance(stmt, ast.Continue):
+            tails = self._unwind_finallies([node], through="loop")
+            head = self._innermost_loop_head()
+            if head is not None:
+                for tail in tails:
+                    self.cfg.add_edge(tail, head)
+            return []
+        return [node]
+
+    def _innermost_break_sink(self) -> Optional[List[int]]:
+        for entry in reversed(self._unwind):
+            if entry.kind == "loop":
+                return entry.break_sink
+        return None
+
+    def _innermost_loop_head(self) -> Optional[int]:
+        for entry in reversed(self._unwind):
+            if entry.kind == "loop":
+                return entry.loop_head
+        return None
+
+    def _if(self, stmt: ast.If, entries: List[int]) -> List[int]:
+        node = self.new_node(stmt)
+        for entry in entries:
+            self.cfg.add_edge(entry, node)
+        if may_raise_expr(stmt.test):
+            self.wire_exception(node)
+        tails = self.sequence(stmt.body, [node])
+        if stmt.orelse:
+            tails.extend(self.sequence(stmt.orelse, [node]))
+        else:
+            tails.append(node)  # false branch falls through
+        return tails
+
+    def _loop(
+        self, stmt: Union[ast.While, ast.For, ast.AsyncFor], entries: List[int]
+    ) -> List[int]:
+        head = self.new_node(stmt)
+        for entry in entries:
+            self.cfg.add_edge(entry, head)
+        if isinstance(stmt, ast.While):
+            if may_raise_expr(stmt.test):
+                self.wire_exception(head)
+        else:
+            self.wire_exception(head)  # the iterator protocol is a call
+        breaks: List[int] = []
+        self._unwind.append(_UnwindEntry("loop", loop_head=head, break_sink=breaks))
+        body_tails = self.sequence(stmt.body, [head])
+        self._unwind.pop()
+        for tail in body_tails:
+            self.cfg.add_edge(tail, head)  # the back edge
+        tails = [head]  # condition false / iterator exhausted
+        if stmt.orelse:
+            tails = self.sequence(stmt.orelse, tails)
+        tails.extend(breaks)
+        return tails
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], entries: List[int]
+    ) -> List[int]:
+        node = self.new_node(stmt)
+        for entry in entries:
+            self.cfg.add_edge(entry, node)
+        self.wire_exception(node)  # __enter__ may raise
+        return self.sequence(stmt.body, [node])
+
+    def _match(self, stmt: Any, entries: List[int]) -> List[int]:
+        node = self.new_node(stmt)
+        for entry in entries:
+            self.cfg.add_edge(entry, node)
+        if may_raise_expr(stmt.subject):
+            self.wire_exception(node)
+        tails: List[int] = [node]  # no case may match
+        for case in stmt.cases:
+            tails.extend(self.sequence(case.body, [node]))
+        return tails
+
+    def _try(self, stmt: ast.Try, entries: List[int]) -> List[int]:
+        handler_entries: List[int] = []
+        catches_all = False
+        handler_defs: List[Tuple[int, ast.ExceptHandler]] = []
+        for handler in stmt.handlers:
+            node = self.new_node(handler)  # type: ignore[arg-type]
+            handler_entries.append(node)
+            handler_defs.append((node, handler))
+            if _handler_is_catch_all(handler):
+                catches_all = True
+
+        exc_clone_first: Optional[int] = None
+        if stmt.finalbody:
+            # Exceptional clone: built up front (detached) so it can act
+            # as the catch-all target while the body is wired; unmatched
+            # exceptions run the finally, then re-raise outward.
+            exc_clone_first = self._next_id
+            outer_targets = self.exception_targets()
+            exc_tails = self.sequence(
+                [copy.deepcopy(s) for s in stmt.finalbody], []
+            )
+            for tail in exc_tails:
+                for target in outer_targets:
+                    self.cfg.add_edge(tail, target, EXCEPTION)
+
+        dispatch = list(handler_entries)
+        dispatch_catches_all = catches_all
+        if exc_clone_first is not None:
+            dispatch = dispatch + [exc_clone_first]
+            dispatch_catches_all = True
+
+        self._handlers.append((dispatch, dispatch_catches_all))
+        if stmt.finalbody:
+            self._unwind.append(_UnwindEntry("finally", finalbody=stmt.finalbody))
+        body_tails = self.sequence(stmt.body, entries)
+        if stmt.orelse:
+            body_tails = self.sequence(stmt.orelse, body_tails)
+        if stmt.finalbody:
+            self._unwind.pop()
+        self._handlers.pop()
+
+        handler_tails: List[int] = []
+        if handler_defs:
+            # Exceptions raised inside a handler body go through the
+            # finally (if any), then outward.
+            if exc_clone_first is not None:
+                self._handlers.append(([exc_clone_first], True))
+            if stmt.finalbody:
+                self._unwind.append(
+                    _UnwindEntry("finally", finalbody=stmt.finalbody)
+                )
+            for node, handler in handler_defs:
+                handler_tails.extend(self.sequence(handler.body, [node]))
+            if stmt.finalbody:
+                self._unwind.pop()
+            if exc_clone_first is not None:
+                self._handlers.pop()
+
+        tails = body_tails + handler_tails
+        if stmt.finalbody:
+            # Fallthrough clone: the normal continuation runs the
+            # finally exactly once, after body/else/handler completion.
+            tails = self.sequence(
+                [copy.deepcopy(s) for s in stmt.finalbody], tails
+            )
+        return tails
+
+
+def build_cfg(func: Union[FunctionNode, ast.Module], name: str = "") -> CFG:
+    """Build the CFG of a function definition (or a module's top level)."""
+    if isinstance(func, ast.Module):
+        return _Builder(name or "<module>").build(func.body)
+    return _Builder(name or func.name).build(func.body)
+
+
+def function_cfgs(
+    module: ast.Module,
+) -> Iterator[Tuple[str, FunctionNode, CFG]]:
+    """``(qualname, def-node, CFG)`` for every function in ``module``.
+
+    Nested functions and methods are included, with dotted qualnames
+    (``Outer.inner``); each CFG covers only its own body (nested defs are
+    opaque single statements in the enclosing CFG).
+    """
+
+    def visit(
+        body: List[ast.stmt], prefix: str
+    ) -> Iterator[Tuple[str, FunctionNode, CFG]]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{stmt.name}" if prefix else stmt.name
+                yield qualname, stmt, build_cfg(stmt, qualname)
+                yield from visit(stmt.body, f"{qualname}.")
+            elif isinstance(stmt, ast.ClassDef):
+                class_prefix = (
+                    f"{prefix}{stmt.name}." if prefix else f"{stmt.name}."
+                )
+                yield from visit(stmt.body, class_prefix)
+
+    yield from visit(module.body, "")

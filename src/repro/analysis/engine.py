@@ -17,10 +17,17 @@ from __future__ import annotations
 
 import ast
 import os
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .cache import ResultCache
+from .callgraph import (
+    ProjectContext,
+    context_from_modules,
+    file_hash,
+    project_digest,
+)
 from .diagnostics import AnalysisReport, Violation, WaiverRecord
-from .rules import RULES, known_codes
+from .rules import RULES, FlowRule, known_codes
 from .waivers import Waiver, extract_waivers
 
 
@@ -53,28 +60,48 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
             raise FileNotFoundError(f"no such file or directory: {path}")
 
 
-def _analyze(source: str, path: str) -> Tuple[List[Violation], List[Waiver]]:
-    """Rule dispatch + waiver resolution for one file's source."""
+def _analyze(
+    source: str,
+    path: str,
+    context: Optional[ProjectContext] = None,
+    module: Optional[ast.Module] = None,
+) -> Tuple[List[Violation], List[Waiver]]:
+    """Rule dispatch + waiver resolution for one file's source.
+
+    ``context`` carries the project-wide call summaries the flow rules
+    consult; when absent (single-file entry points) a single-file
+    context is built so taint still crosses calls within the file.
+    ``module`` short-circuits re-parsing when the caller already holds
+    the AST (the project pass parses every file exactly once).
+    """
     relpath = model_path(path)
     waivers = extract_waivers(source)
-    try:
-        module = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        violation = Violation(
-            path=path,
-            line=error.lineno or 1,
-            column=(error.offset or 1),
-            code="SEX004",
-            message=f"file could not be parsed: {error.msg}",
-        )
-        return [violation], waivers
+    if module is None:
+        try:
+            module = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            violation = Violation(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1),
+                code="SEX004",
+                message=f"file could not be parsed: {error.msg}",
+            )
+            return [violation], waivers
+    if context is None:
+        context = context_from_modules({relpath: module})
 
     raw: List[Violation] = []
     for code in sorted(RULES):
         rule = RULES[code]
         if not rule.applies_to(relpath):
             continue
-        for hit in rule.check(module, relpath):
+        hits = (
+            rule.check_flow(module, relpath, context)
+            if isinstance(rule, FlowRule)
+            else rule.check(module, relpath)
+        )
+        for hit in hits:
             raw.append(Violation(
                 path=path, line=hit.line, column=hit.column,
                 code=hit.code, message=hit.message,
@@ -109,20 +136,66 @@ def analyze_file(path: str) -> List[Violation]:
     return analyze_source(_read_source(path), path)
 
 
-def run_analysis(paths: Sequence[str]) -> AnalysisReport:
-    """Analyze every Python file under ``paths`` into one report."""
+def run_analysis(
+    paths: Sequence[str], cache: Optional[ResultCache] = None
+) -> AnalysisReport:
+    """Analyze every Python file under ``paths`` into one report.
+
+    The run is two-phase.  Phase one reads every source and, when a
+    ``cache`` is given, replays entries keyed by (file hash, project
+    digest, rules fingerprint) — an all-hit warm run never parses a
+    single file.  Phase two parses the remaining files *once each*,
+    builds one shared :class:`ProjectContext` (so flow rules see
+    cross-file call summaries), and dispatches the rules.
+    """
     report = AnalysisReport()
-    for path in iter_python_files(paths):
-        report.files_checked += 1
-        violations, waivers = _analyze(_read_source(path), path)
-        report.violations.extend(violations)
-        report.waivers.extend(
-            WaiverRecord(
-                path=path, line=waiver.line, codes=waiver.codes,
-                reason=waiver.reason, used=waiver.used,
-            )
-            for waiver in waivers
+    files = list(iter_python_files(paths))
+    sources: Dict[str, str] = {path: _read_source(path) for path in files}
+    digest = project_digest(
+        {model_path(path): source for path, source in sources.items()}
+    )
+
+    cached: Dict[str, Tuple[List[Violation], List[WaiverRecord]]] = {}
+    if cache is not None:
+        for path in files:
+            entry = cache.load(file_hash(sources[path]), digest, path)
+            if entry is not None:
+                cached[path] = entry
+
+    context: Optional[ProjectContext] = None
+    modules: Dict[str, ast.Module] = {}
+    if len(cached) != len(files):
+        for path in files:
+            try:
+                modules[path] = ast.parse(sources[path], filename=path)
+            except SyntaxError:
+                pass  # reported as SEX004 by the per-file pass below
+        context = context_from_modules(
+            {model_path(path): module for path, module in modules.items()},
+            digest=digest,
         )
+
+    for path in files:
+        report.files_checked += 1
+        if path in cached:
+            violations, waiver_records = cached[path]
+        else:
+            violations, waivers = _analyze(
+                sources[path], path, context=context, module=modules.get(path)
+            )
+            waiver_records = [
+                WaiverRecord(
+                    path=path, line=waiver.line, codes=waiver.codes,
+                    reason=waiver.reason, used=waiver.used,
+                )
+                for waiver in waivers
+            ]
+            if cache is not None:
+                cache.store(
+                    file_hash(sources[path]), digest, violations, waiver_records
+                )
+        report.violations.extend(violations)
+        report.waivers.extend(waiver_records)
     report.violations.sort()
     return report
 

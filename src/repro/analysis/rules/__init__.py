@@ -9,7 +9,14 @@ hundreds digit:
 * ``SEX2xx`` — semi-external memory discipline;
 * ``SEX3xx`` — determinism;
 * ``SEX4xx`` — error hygiene;
-* ``SEX5xx`` — parallelism containment.
+* ``SEX5xx`` — parallelism containment;
+* ``SEX6xx`` — flow-sensitive resource lifecycle.
+
+Codes ``SEX2xx``/``SEX3xx`` above 10 in the tens digit (``SEX211``,
+``SEX311``, ``SEX312``) are the *flow-sensitive* members of their
+families: they run the CFG + taint engine (:mod:`repro.analysis.cfg`,
+:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.callgraph`) rather
+than matching single statements.
 """
 
 from . import (
@@ -18,10 +25,12 @@ from . import (
     io_containment,
     memory_discipline,
     parallelism,
+    resource_lifecycle,
 )
 from .base import (
     META_CODES,
     RULES,
+    FlowRule,
     RawViolation,
     Rule,
     known_codes,
@@ -31,6 +40,7 @@ from .base import (
 __all__ = [
     "META_CODES",
     "RULES",
+    "FlowRule",
     "RawViolation",
     "Rule",
     "determinism",
@@ -40,4 +50,5 @@ __all__ = [
     "memory_discipline",
     "parallelism",
     "register",
+    "resource_lifecycle",
 ]

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Tuple, Type
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..callgraph import ProjectContext
 
 #: Path prefixes where raw file I/O is allowed: the storage substrate and
 #: the text edge-list loader.  Everything else must go through BlockDevice.
@@ -48,6 +51,13 @@ SCAN_METHOD_NAMES: Tuple[str, ...] = ("scan", "scan_blocks", "scan_columns")
 #: reassembly, worker I/O absorption, span replay — cannot be bypassed
 #: by an ad-hoc pool elsewhere (the SEX5xx family).
 PARALLEL_LAYER_FILES: Tuple[str, ...] = ("repro/parallel.py",)
+
+#: The designated in-memory solver: the one module allowed to accumulate
+#: scan-derived adjacency into memory, because it runs only after the
+#: recursion has proved the part fits the budget (|V|+|E| ≤ memory).
+#: The flow-sensitive materialization rule (SEX211) exempts it so every
+#: other accumulation site must either stream or route through it.
+INMEMORY_SOLVER_FILES: Tuple[str, ...] = ("repro/core/inmemory.py",)
 
 
 @dataclass(frozen=True)
@@ -86,6 +96,30 @@ class Rule:
             column=getattr(node, "col_offset", 0) + 1,
             message=message,
         )
+
+
+class FlowRule(Rule):
+    """A rule that needs CFGs and cross-function taint, not just the AST.
+
+    Flow rules receive a :class:`~repro.analysis.callgraph.ProjectContext`
+    (parsed modules, per-function CFGs, call summaries) through
+    :meth:`check_flow`.  When invoked through the plain :meth:`check`
+    interface — single-file analysis with no surrounding project — they
+    build a single-file context on the fly, so taint still crosses calls
+    *within* the file but summaries from sibling files are absent.
+    """
+
+    def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
+        from ..callgraph import context_from_modules
+
+        context = context_from_modules({relpath: module})
+        return self.check_flow(module, relpath, context)
+
+    def check_flow(
+        self, module: ast.Module, relpath: str, context: "ProjectContext"
+    ) -> Iterator[RawViolation]:
+        """Yield violations using project-wide flow facts."""
+        raise NotImplementedError
 
 
 def in_storage_layer(relpath: str) -> bool:

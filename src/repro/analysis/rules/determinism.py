@@ -13,9 +13,12 @@ use is genuinely observational (timing metrics, deadlines).
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import FrozenSet, Iterator, Tuple
 
+from ..callgraph import ProjectContext, taint_states
+from ..cfg import own_expressions
 from .base import (
+    FlowRule,
     RawViolation,
     Rule,
     in_algorithm_core,
@@ -168,3 +171,133 @@ class UnorderedIterationRule(Rule):
             and isinstance(node.func, ast.Name)
             and node.func.id in ("set", "frozenset")
         )
+
+
+# ----------------------------------------------------------------------
+# Flow-sensitive determinism taint (SEX31x).
+#
+# The syntactic rules above catch nondeterminism at its *source*; the
+# flow rules below catch it at the *sink*, after the value has travelled
+# through assignments, arithmetic, helper calls (via call-graph
+# summaries) and containers.  Sinks are the places nondeterminism
+# becomes externally observable run state: RunResult construction
+# (``finish``/``finish_result``/result constructors), span payloads
+# (``.annotate(...)``), and writes into storage resources (``.append``
+# etc. on a value the taint engine knows is a live resource).
+
+#: Result-constructing callables whose arguments are persisted run state.
+_RESULT_SINK_NAMES: Tuple[str, ...] = (
+    "finish", "finish_result", "RunResult", "DFSResult", "BFSResult",
+)
+
+#: Write methods that persist their arguments when the receiver is a
+#: storage resource (edge file / partition writer / device).
+_RESOURCE_WRITE_METHODS: Tuple[str, ...] = (
+    "append", "extend", "extend_columns", "route", "route_columns",
+    "write_block",
+)
+
+#: Keyword arguments that are *defined* as wall-clock measurements; the
+#: one sanctioned timing field.
+_EXEMPT_KEYWORDS: Tuple[str, ...] = ("elapsed_seconds",)
+
+
+def _sink_hits(info, context, kinds):
+    """``(expr, sink_description, hit_kinds)`` per tainted sink argument."""
+    analysis, states = taint_states(info, context)
+    for node_id, stmt in info.cfg.statements.items():
+        env = states.get(node_id)
+        if env is None:
+            continue  # unreachable statement
+        for expr in own_expressions(stmt):
+            for call in ast.walk(expr):
+                if not isinstance(call, ast.Call):
+                    continue
+                sink = _sink_description(call, analysis, env)
+                if sink is None:
+                    continue
+                arguments = list(call.args)
+                arguments.extend(
+                    keyword.value for keyword in call.keywords
+                    if keyword.arg not in _EXEMPT_KEYWORDS
+                )
+                for argument in arguments:
+                    hit = analysis.taint_of(argument, env) & kinds
+                    if hit:
+                        yield argument, sink, hit
+
+
+def _sink_description(call, analysis, env):
+    """What kind of sink ``call`` is, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _RESULT_SINK_NAMES:
+        return f"run-result construction via {func.id}()"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _RESULT_SINK_NAMES:
+            return f"run-result construction via .{func.attr}()"
+        if func.attr == "annotate":
+            return "a span payload (.annotate())"
+        if func.attr in _RESOURCE_WRITE_METHODS and "resource" in (
+            analysis.taint_of(func.value, env)
+        ):
+            return f"a storage write (.{func.attr}())"
+    return None
+
+
+class _TaintSinkRule(FlowRule):
+    """Shared driver for the SEX31x sink rules."""
+
+    kinds: FrozenSet[str] = frozenset()
+    advice: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return in_algorithm_core(relpath) and not in_observability_layer(relpath)
+
+    def check_flow(
+        self, module: ast.Module, relpath: str, context: ProjectContext
+    ) -> Iterator[RawViolation]:
+        for info in context.functions.get(relpath, []):
+            for expr, sink, hit in _sink_hits(info, context, self.kinds):
+                yield self.violation(
+                    expr,
+                    f"value tainted by {'/'.join(sorted(hit))} reaches "
+                    f"{sink} in {info.qualname}(); {self.advice}",
+                )
+
+
+@register
+class HostStateTaintRule(_TaintSinkRule):
+    """Wall-clock/random/environment values must not reach run state."""
+
+    code = "SEX311"
+    name = "det-host-state-reaches-run-state"
+    summary = (
+        "a value derived from time.*/random.*/os.environ/id() flows into "
+        "a RunResult field, span payload or storage write (tracked "
+        "through assignments and project calls); results must be a pure "
+        "function of (graph, algorithm, memory, seed) — elapsed_seconds "
+        "is the one sanctioned timing field"
+    )
+
+    kinds = frozenset({"wallclock", "random", "environ", "id"})
+    advice = (
+        "derive run state only from the inputs; timing belongs in "
+        "elapsed_seconds, host identity does not belong at all"
+    )
+
+
+@register
+class SetOrderTaintRule(_TaintSinkRule):
+    """Set-iteration order must not reach run state."""
+
+    code = "SEX312"
+    name = "det-set-order-reaches-run-state"
+    summary = (
+        "a value produced by iterating an unordered set flows into a "
+        "RunResult field, span payload or storage write; hash order "
+        "varies across processes (PYTHONHASHSEED), so sort before "
+        "iterating (sorted() launders the taint)"
+    )
+
+    kinds = frozenset({"setiter"})
+    advice = "iterate sorted(...) so the recorded order is reproducible"

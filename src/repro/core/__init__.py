@@ -2,7 +2,12 @@
 in-memory DFS/SCC/topological sort, and DFS-Tree validation."""
 
 from .classify import EdgeType, IntervalIndex
-from .inmemory import dfs_preferring_tree, tarjan_scc, topological_sort
+from .inmemory import (
+    adjacency_from_edge_file,
+    dfs_preferring_tree,
+    tarjan_scc,
+    topological_sort,
+)
 from .order import classify_edge_dynamic, compare_preorder, find_lca, is_ancestor
 from .tree import SpanningTree, VirtualNodeAllocator
 from .tree_io import load_tree, save_tree
@@ -25,6 +30,7 @@ __all__ = [
     "check_spanning_tree",
     "classify_edge_dynamic",
     "compare_preorder",
+    "adjacency_from_edge_file",
     "dfs_preferring_tree",
     "find_lca",
     "is_ancestor",

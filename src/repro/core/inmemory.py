@@ -16,13 +16,51 @@ stack the paper charges to SEMI-DFS in its Exp-1/Exp-5 discussions.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import InvalidGraphError, NotADAGError
 from ..storage.block_device import BlockDevice
 from .tree import SpanningTree
 
 Adjacency = Mapping[int, Sequence[int]]
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..storage.edge_file import EdgeFile
+
+
+def adjacency_from_edge_file(edge_file: "EdgeFile") -> Dict[int, List[int]]:
+    """Materialize an edge file's adjacency for an in-memory solve.
+
+    This is the *designated* loader for the divide & conquer base case:
+    the recursion calls it only after proving ``|V_i| + |E_i| ≤ M``, so
+    the materialization is exactly the memory the model already budgets
+    for the part.  Self-loops are dropped (they never affect a DFS
+    tree).  Outside this module, accumulating scan output into memory is
+    a conformance violation (SEX201/SEX211) — route base cases here.
+    """
+    adjacency: Dict[int, List[int]] = {}
+    for u_col, v_col in edge_file.scan_columns():
+        # tolist() re-materializes backend columns (numpy ndarray or
+        # stdlib array) as plain python ints in one call, keeping
+        # foreign int types out of the adjacency dict and the tree.
+        for u, v in zip(u_col.tolist(), v_col.tolist()):
+            if u == v:
+                continue
+            targets = adjacency.get(u)
+            if targets is None:
+                adjacency[u] = [v]
+            else:
+                targets.append(v)
+    return adjacency
 
 
 def dfs_preferring_tree(
@@ -210,8 +248,19 @@ def tarjan_scc(nodes: Iterable[int], adjacency: Adjacency) -> List[List[int]]:
     return components
 
 
-def topological_sort(nodes: Iterable[int], adjacency: Adjacency) -> List[int]:
+def topological_sort(
+    nodes: Iterable[int],
+    adjacency: Adjacency,
+    priority: Optional[Mapping[int, int]] = None,
+) -> List[int]:
     """Kahn's algorithm; deterministic (seeds processed in sorted order).
+
+    Args:
+        priority: optional rank per node; among simultaneously-ready nodes
+            the smallest ``(priority, id)`` pair is emitted first.  This is
+            how the merge step preserves an existing sibling priority (the
+            start-node hint) wherever the DAG leaves the order free.
+            Without it, ties break on node id alone.
 
     Raises:
         NotADAGError: when the graph contains a cycle.
@@ -223,16 +272,22 @@ def topological_sort(nodes: Iterable[int], adjacency: Adjacency) -> List[int]:
             if target not in in_degree:
                 raise InvalidGraphError(f"edge target {target} not in node set")
             in_degree[target] += 1
-    ready = [node for node in node_list if in_degree[node] == 0]
-    heapq.heapify(ready)  # smallest id first, for determinism
+
+    def rank(node: int) -> Tuple[int, int]:
+        if priority is None:
+            return (0, node)
+        return (priority.get(node, len(node_list)), node)
+
+    ready = [rank(node) for node in node_list if in_degree[node] == 0]
+    heapq.heapify(ready)  # smallest (priority, id) first, for determinism
     order: List[int] = []
     while ready:
-        node = heapq.heappop(ready)
+        _, node = heapq.heappop(ready)
         order.append(node)
         for target in adjacency.get(node, ()):
             in_degree[target] -= 1
             if in_degree[target] == 0:
-                heapq.heappush(ready, target)
+                heapq.heappush(ready, rank(target))
     if len(order) != len(node_list):
         raise NotADAGError("graph contains a cycle; topological sort impossible")
     return order

@@ -1,0 +1,87 @@
+"""Regression tests for the divide-family start-node priority.
+
+ROADMAP recorded a hypothesis counterexample on multi-edge graphs where
+``divide_star_dfs(start=...)`` returned an order that did not begin with
+the requested start node, while the baselines honoured it.  The minimal
+shrunk shape (found by re-running the hunt): heavy ``(0, 0)`` self-loop
+multiplicity forces edge-at-a-time batches, the lone chain
+``start -> 1 -> 0`` converges to ``0`` as a *sibling* of the start's
+subtree, and a division taken at that point registers the S-edge
+``(start, 0)`` in Σ — whose reverse topological order then forces part
+``0`` before the start's part in the merge.  No sibling permutation can
+honour the hint under that division; the fix vetoes it and keeps
+restructuring instead (see ``_division_first_real`` in
+``repro.algorithms.divide_conquer``).
+"""
+
+import os
+
+import pytest
+
+from repro import BlockDevice, DiskGraph
+from repro.algorithms import divide_star_dfs, divide_td_dfs, edge_by_batch
+from repro.graph import Digraph
+
+from ..conftest import assert_valid_dfs_result
+
+#: The shrunk counterexample: 26 copies of (0,0) fill the scan with
+#: self-loops, (1,0) + (12,1) form the chain the start must follow.
+COUNTEREXAMPLE_NODES = 13
+COUNTEREXAMPLE_EDGES = [(0, 0)] * 26 + [(1, 0)] + [(12, 1)]
+COUNTEREXAMPLE_START = 12
+
+#: memory=40 is the minimum legal semi-external budget (3·13 + 1): the
+#: graph (|V|+|E| = 41) misses the in-memory base case by one element,
+#: so the run *must* divide — the configuration that dropped the hint.
+TIGHT_MEMORY = 3 * COUNTEREXAMPLE_NODES + 1
+
+
+@pytest.mark.parametrize(
+    "algorithm", [divide_star_dfs, divide_td_dfs, edge_by_batch]
+)
+@pytest.mark.parametrize("memory", [TIGHT_MEMORY, 3 * COUNTEREXAMPLE_NODES + 50])
+def test_start_hint_survives_division(algorithm, memory):
+    with BlockDevice(block_elements=32) as device:
+        graph = DiskGraph.from_edges(
+            device, COUNTEREXAMPLE_NODES, COUNTEREXAMPLE_EDGES
+        )
+        result = algorithm(graph, memory=memory, start=COUNTEREXAMPLE_START)
+        assert result.order[0] == COUNTEREXAMPLE_START
+        # The whole chain must be followed depth-first from the start:
+        # 12 -> 1 (edge (12,1)), then 1 -> 0 (edge (1,0)).
+        assert result.order[:3] == [12, 1, 0]
+
+
+def test_vetoed_division_leaves_no_part_files():
+    """A vetoed division must delete its part files and its virtuals."""
+    with BlockDevice(block_elements=32) as device:
+        graph = DiskGraph.from_edges(
+            device, COUNTEREXAMPLE_NODES, COUNTEREXAMPLE_EDGES
+        )
+        before = set(os.listdir(device.directory))
+        result = divide_star_dfs(
+            graph, memory=TIGHT_MEMORY, start=COUNTEREXAMPLE_START
+        )
+        assert result.order[0] == COUNTEREXAMPLE_START
+        assert set(os.listdir(device.directory)) == before
+
+
+def test_divide_agrees_with_baseline_on_counterexample():
+    digraph = Digraph(COUNTEREXAMPLE_NODES)
+    for u, v in COUNTEREXAMPLE_EDGES:
+        digraph.add_edge(u, v)
+    orders = {}
+    for name, algorithm in (
+        ("star", divide_star_dfs),
+        ("td", divide_td_dfs),
+        ("batch", edge_by_batch),
+    ):
+        with BlockDevice(block_elements=32) as device:
+            graph = DiskGraph.from_digraph(device, digraph)
+            result = algorithm(
+                graph, memory=TIGHT_MEMORY, start=COUNTEREXAMPLE_START
+            )
+            assert_valid_dfs_result(result, graph, digraph)
+            orders[name] = result.order
+    assert orders["star"] == orders["batch"]
+    assert orders["td"] == orders["batch"]

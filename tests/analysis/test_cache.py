@@ -1,0 +1,111 @@
+"""The content-hash result cache: warm replay, invalidation, robustness."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cache import CACHE_SCHEMA_VERSION, ResultCache, rules_fingerprint
+from repro.analysis.engine import run_analysis
+
+CLEAN = "def f():\n    return 1\n"
+
+DIRTY = textwrap.dedent("""\
+def collect(edge_file):
+    edges = []
+    for u, v in edge_file.scan():
+        edges.append((u, v))
+    return edges
+""")
+
+
+def write_tree(root: Path, sources: dict) -> Path:
+    pkg = root / "repro" / "algorithms"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for name, source in sources.items():
+        (pkg / name).write_text(source, encoding="utf-8")
+    return root / "repro"
+
+
+class TestWarmReplay:
+    def test_warm_run_matches_cold_run(self, tmp_path):
+        tree = write_tree(tmp_path / "t", {"a.py": CLEAN, "b.py": DIRTY})
+        cache = ResultCache(str(tmp_path / "cache"))
+        cold = run_analysis([str(tree)], cache=cache)
+        warm = run_analysis([str(tree)], cache=cache)
+        assert cold.to_dict() == warm.to_dict()
+        assert [v.code for v in warm.violations] == ["SEX211"]
+
+    def test_warm_run_hits_every_file(self, tmp_path):
+        tree = write_tree(tmp_path / "t", {"a.py": CLEAN, "b.py": DIRTY})
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_analysis([str(tree)], cache=cache)
+        warm_cache = ResultCache(str(tmp_path / "cache"))
+        run_analysis([str(tree)], cache=warm_cache)
+        assert warm_cache.hits == 2
+        assert warm_cache.misses == 0
+
+    def test_waivers_survive_the_cache(self, tmp_path):
+        waived = DIRTY.replace(
+            "        edges.append((u, v))",
+            "        edges.append((u, v))  # repro: allow[SEX211] fixture",
+        )
+        tree = write_tree(tmp_path / "t", {"b.py": waived})
+        cache = ResultCache(str(tmp_path / "cache"))
+        cold = run_analysis([str(tree)], cache=cache)
+        warm = run_analysis([str(tree)], cache=cache)
+        assert cold.ok and warm.ok
+        assert len(warm.waivers) == 1
+        assert warm.waivers[0].used
+
+
+class TestInvalidation:
+    def test_file_edit_invalidates(self, tmp_path):
+        tree = write_tree(tmp_path / "t", {"a.py": CLEAN})
+        cache = ResultCache(str(tmp_path / "cache"))
+        first = run_analysis([str(tree)], cache=cache)
+        assert first.ok
+        write_tree(tmp_path / "t", {"a.py": DIRTY})
+        second = run_analysis([str(tree)], cache=cache)
+        assert [v.code for v in second.violations] == ["SEX211"]
+
+    def test_sibling_edit_invalidates_project_digest(self, tmp_path):
+        # Flow rules consult cross-file summaries, so a change in ANY
+        # file must invalidate every entry, not just its own.
+        tree = write_tree(tmp_path / "t", {"a.py": CLEAN, "b.py": CLEAN})
+        cache = ResultCache(str(tmp_path / "cache"))
+        run_analysis([str(tree)], cache=cache)
+        write_tree(tmp_path / "t", {"b.py": CLEAN + "\n\ndef g():\n    return 2\n"})
+        fresh = ResultCache(str(tmp_path / "cache"))
+        run_analysis([str(tree)], cache=fresh)
+        assert fresh.hits == 0
+
+    def test_fingerprint_covers_rule_inventory(self):
+        fingerprint = rules_fingerprint()
+        assert fingerprint == rules_fingerprint()
+        assert len(fingerprint) == 64
+        assert CACHE_SCHEMA_VERSION >= 1
+
+
+class TestRobustness:
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        tree = write_tree(tmp_path / "t", {"b.py": DIRTY})
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(str(cache_dir))
+        run_analysis([str(tree)], cache=cache)
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{ not json", encoding="utf-8")
+        warm = ResultCache(str(cache_dir))
+        report = run_analysis([str(tree)], cache=warm)
+        assert warm.hits == 0
+        assert [v.code for v in report.violations] == ["SEX211"]
+
+    def test_entries_are_path_free(self, tmp_path):
+        tree = write_tree(tmp_path / "t", {"b.py": DIRTY})
+        cache_dir = tmp_path / "cache"
+        run_analysis([str(tree)], cache=ResultCache(str(cache_dir)))
+        for entry in cache_dir.glob("*.json"):
+            data = json.loads(entry.read_text(encoding="utf-8"))
+            blob = json.dumps(data)
+            assert str(tmp_path) not in blob

@@ -1,0 +1,175 @@
+"""Intraprocedural CFG construction: shapes, edges, exception wiring."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (
+    ENTRY,
+    EXCEPTION,
+    EXIT,
+    NORMAL,
+    RAISE,
+    build_cfg,
+    function_cfgs,
+    own_expressions,
+)
+
+
+def cfg_of(source: str):
+    module = ast.parse(textwrap.dedent(source))
+    func = module.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func)
+
+
+def node_for(cfg, line: int) -> int:
+    """The CFG node whose statement starts on ``line`` (1-based in src)."""
+    matches = [
+        node_id for node_id, stmt in cfg.statements.items()
+        if stmt.lineno == line
+    ]
+    assert matches, f"no statement on line {line}"
+    return matches[0]
+
+
+class TestLinearFlow:
+    def test_straight_line_chains_entry_to_exit(self):
+        cfg = cfg_of("""\
+        def f():
+            a = 1
+            b = 2
+        """)
+        assert len(cfg.statements) == 2
+        first, second = node_for(cfg, 2), node_for(cfg, 3)
+        assert (first, NORMAL) in cfg.pred[second]
+        assert any(src == ENTRY for src, _ in cfg.pred[first])
+        assert any(src == second for src, _ in cfg.pred[EXIT])
+
+    def test_return_jumps_to_exit(self):
+        cfg = cfg_of("""\
+        def f():
+            return 1
+            a = 2
+        """)
+        ret = node_for(cfg, 2)
+        assert (EXIT, NORMAL) in cfg.succ[ret]
+        # The statement after `return` is unreachable from ENTRY.
+        dead = node_for(cfg, 3)
+        assert dead not in cfg.rpo()
+
+
+class TestBranching:
+    def test_if_else_joins(self):
+        cfg = cfg_of("""\
+        def f(p):
+            if p:
+                a = 1
+            else:
+                a = 2
+            b = 3
+        """)
+        join = node_for(cfg, 6)
+        sources = {src for src, _ in cfg.pred[join]}
+        assert node_for(cfg, 3) in sources
+        assert node_for(cfg, 5) in sources
+
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("""\
+        def f(p):
+            while p:
+                p = step(p)
+        """)
+        head, body = node_for(cfg, 2), node_for(cfg, 3)
+        assert (head, NORMAL) in cfg.pred[body]
+        assert (body, NORMAL) in cfg.pred[head]
+        assert any(src == head for src, _ in cfg.pred[EXIT])
+
+
+class TestExceptions:
+    def test_raising_call_has_exception_edge_to_raise(self):
+        cfg = cfg_of("""\
+        def f():
+            g()
+        """)
+        call = node_for(cfg, 2)
+        assert (RAISE, EXCEPTION) in cfg.succ[call]
+
+    def test_handler_intercepts_exception_edge(self):
+        cfg = cfg_of("""\
+        def f():
+            try:
+                g()
+            except ValueError:
+                h()
+        """)
+        call = node_for(cfg, 3)
+        dispatch = node_for(cfg, 4)  # the ExceptHandler dispatch node
+        handler_body = node_for(cfg, 5)
+        assert (dispatch, EXCEPTION) in cfg.succ[call]
+        assert (handler_body, NORMAL) in cfg.succ[dispatch]
+        # Non-catch-all handler: the exception may still escape.
+        assert (RAISE, EXCEPTION) in cfg.succ[call]
+
+    def test_catch_all_handler_swallows_raise_edge(self):
+        cfg = cfg_of("""\
+        def f():
+            try:
+                g()
+            except Exception:
+                h()
+        """)
+        call = node_for(cfg, 3)
+        assert (RAISE, EXCEPTION) not in cfg.succ[call]
+
+    def test_finally_runs_on_return_path(self):
+        cfg = cfg_of("""\
+        def f(w):
+            try:
+                return w
+            finally:
+                w.close()
+        """)
+        # EXIT's predecessors are close() clones, never the return itself:
+        # the finally body runs on every continuation out of the try.
+        exit_sources = [cfg.statements[src] for src, _ in cfg.pred[EXIT]]
+        assert exit_sources
+        for stmt in exit_sources:
+            assert isinstance(stmt, ast.Expr)
+            assert isinstance(stmt.value, ast.Call)
+            assert stmt.value.func.attr == "close"
+
+
+class TestOwnExpressions:
+    def test_compound_headers_only(self):
+        module = ast.parse(textwrap.dedent("""\
+        for u, v in edges:
+            body()
+        """))
+        loop = module.body[0]
+        exprs = list(own_expressions(loop))
+        # target + iter, but never the body statements' expressions.
+        assert any(isinstance(e, ast.Name) and e.id == "edges" for e in exprs)
+        dumped = [ast.dump(e) for e in exprs]
+        assert not any("body" in d for d in dumped)
+
+    def test_simple_statement_yields_children(self):
+        stmt = ast.parse("x = f(1)").body[0]
+        exprs = list(own_expressions(stmt))
+        assert any(isinstance(e, ast.Call) for e in exprs)
+
+
+class TestFunctionCfgs:
+    def test_nested_and_method_qualnames(self):
+        module = ast.parse(textwrap.dedent("""\
+        def outer():
+            def inner():
+                pass
+
+        class C:
+            def method(self):
+                pass
+        """))
+        names = [qualname for qualname, _, _ in function_cfgs(module)]
+        assert names == ["outer", "outer.inner", "C.method"]

@@ -101,3 +101,40 @@ class TestListRules:
         out = capsys.readouterr().out
         for code in known_codes():
             assert code in out
+
+
+class TestSarifOutput:
+    def test_sarif_envelope_and_results(self, dirty_tree, capsys):
+        assert main([str(dirty_tree), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert {r["ruleId"] for r in run["results"]} >= {"SEX201", "SEX101"}
+
+    def test_sarif_clean_run_still_lists_rules(self, clean_tree, capsys):
+        assert main([str(clean_tree), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        run = doc["runs"][0]
+        assert run["results"] == []
+        listed = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert listed == set(known_codes())
+
+
+class TestCacheFlags:
+    def test_cached_reruns_byte_identical(self, dirty_tree, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([str(dirty_tree), "--format", "json",
+                     "--cache-dir", cache_dir]) == 1
+        cold = capsys.readouterr().out
+        assert main([str(dirty_tree), "--format", "json",
+                     "--cache-dir", cache_dir]) == 1
+        warm = capsys.readouterr().out
+        assert cold == warm
+
+    def test_no_cache_overrides_cache_dir(self, clean_tree, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([str(clean_tree), "--cache-dir", str(cache_dir),
+                     "--no-cache"]) == 0
+        # --no-cache means the directory is never even created.
+        assert not cache_dir.exists()

@@ -1,0 +1,160 @@
+"""SEX211 (flow-sensitive materialization): scan accumulation in loops."""
+
+from __future__ import annotations
+
+#: The spread-out version of `list(scan())`: a local dict grows a
+#: scan-derived entry per edge with no reset — O(E) one append at a time.
+ACCUMULATING_LOOP = """\
+def load(edge_file):
+    adjacency = {}
+    for u, v in edge_file.scan():
+        targets = adjacency.get(u)
+        if targets is None:
+            adjacency[u] = [v]
+        else:
+            targets.append(v)
+    return adjacency
+"""
+
+#: The windowed-batch near-miss: the container is flushed (rebound
+#: fresh) inside the same outermost loop, so it is bounded by the
+#: window, not by O(E).
+WINDOWED_LOOP = """\
+def process(edge_file, limit):
+    batch = []
+    for u, v in edge_file.scan():
+        batch.append((u, v))
+        if len(batch) >= limit:
+            consume(batch)
+            batch = []
+    consume(batch)
+"""
+
+
+class TestAccumulationFlagged:
+    def test_member_alias_growth_flagged(self, check):
+        assert check(ACCUMULATING_LOOP) == ["SEX211"]
+
+    def test_direct_append_flagged(self, check):
+        source = """\
+        def collect(edge_file):
+            edges = []
+            for u, v in edge_file.scan():
+                edges.append((u, v))
+            return edges
+        """
+        assert check(source) == ["SEX211"]
+
+    def test_set_add_flagged(self, check):
+        source = """\
+        def collect(edge_file):
+            seen = set()
+            for u, v in edge_file.scan_blocks():
+                seen.add(u)
+            return seen
+        """
+        assert check(source) == ["SEX211"]
+
+    def test_growth_in_inner_loop_judged_at_outer(self, check):
+        # The inner loop body grows; no reset anywhere in the outer
+        # loop either, so the accumulation is unbounded.
+        source = """\
+        def collect(edge_file, passes):
+            edges = []
+            for _ in range(passes):
+                for u, v in edge_file.scan():
+                    edges.append((u, v))
+            return edges
+        """
+        assert check(source) == ["SEX211"]
+
+    def test_setdefault_alias_growth_flagged(self, check):
+        source = """\
+        def load(edge_file):
+            adjacency = {}
+            for u, v in edge_file.scan_columns():
+                adjacency.setdefault(u, []).append(v)
+            return adjacency
+        """
+        assert check(source) == ["SEX211"]
+
+
+class TestBoundedPatternsClean:
+    def test_windowed_flush_clean(self, check):
+        assert check(WINDOWED_LOOP) == []
+
+    def test_clear_inside_loop_clean(self, check):
+        source = """\
+        def process(edge_file, limit):
+            batch = []
+            for u, v in edge_file.scan():
+                batch.append((u, v))
+                if len(batch) >= limit:
+                    consume(batch)
+                    batch.clear()
+        """
+        assert check(source) == []
+
+    def test_nested_flush_function_clean(self, check):
+        # The restructure.py idiom: a nested function rebinds the
+        # container via nonlocal, called from inside the scan loop.
+        source = """\
+        def process(edge_file, limit):
+            batch = []
+
+            def flush():
+                nonlocal batch
+                consume(batch)
+                batch = []
+
+            for u, v in edge_file.scan():
+                batch.append((u, v))
+                if len(batch) >= limit:
+                    flush()
+            flush()
+        """
+        assert check(source) == []
+
+    def test_keyed_replacement_clean(self, check):
+        # The bfs.py idiom: `best[v] = (level, parent)` replaces a
+        # keyed slot — bounded by the node domain (k·|V|), not O(E).
+        source = """\
+        def relax(edge_file, level):
+            best = {}
+            for u, v in edge_file.scan():
+                best[v] = (level, u)
+            return best
+        """
+        assert check(source) == []
+
+    def test_untainted_values_clean(self, check):
+        source = """\
+        def count(edge_file, nodes):
+            marks = []
+            for node in nodes:
+                marks.append(node)
+            return marks
+        """
+        assert check(source) == []
+
+    def test_scan_streamed_without_container_clean(self, check):
+        source = """\
+        def total(edge_file):
+            count = 0
+            for u, v in edge_file.scan():
+                count = count + 1
+            return count
+        """
+        assert check(source) == []
+
+
+class TestScope:
+    def test_inmemory_solver_exempt(self, check):
+        assert check(ACCUMULATING_LOOP, path="repro/core/inmemory.py") == []
+
+    def test_outside_algorithm_core_exempt(self, check):
+        assert check(ACCUMULATING_LOOP, path="repro/bench/harness.py") == []
+
+    def test_active_in_algorithms(self, check):
+        path = "repro/algorithms/helper.py"
+        assert check(ACCUMULATING_LOOP, path=path) == ["SEX211"]

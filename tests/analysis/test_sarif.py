@@ -1,0 +1,73 @@
+"""SARIF 2.1.0 rendering: envelope, rule inventory, result locations."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import AnalysisReport, Violation
+from repro.analysis.rules import META_CODES, RULES, known_codes
+from repro.analysis.sarif import SARIF_VERSION, sarif_report
+
+
+def report_with(*violations: Violation) -> AnalysisReport:
+    report = AnalysisReport(files_checked=3)
+    report.violations.extend(violations)
+    return report
+
+
+class TestEnvelope:
+    def test_version_and_schema(self):
+        doc = sarif_report(report_with())
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif" in str(doc["$schema"])
+        assert len(doc["runs"]) == 1
+
+    def test_driver_lists_every_rule(self):
+        doc = sarif_report(report_with())
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        listed = {rule["id"] for rule in driver["rules"]}
+        assert listed == set(known_codes())
+        assert set(META_CODES) <= listed
+        assert set(RULES) <= listed
+
+    def test_clean_report_has_empty_results(self):
+        doc = sarif_report(report_with())
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["properties"]["ok"] is True
+
+
+class TestResults:
+    def test_result_location_and_rule_binding(self):
+        violation = Violation(
+            path="src/repro/algorithms/division.py",
+            line=230, column=9, code="SEX601", message="leak",
+        )
+        doc = sarif_report(report_with(violation))
+        run = doc["runs"][0]
+        (result,) = run["results"]
+        assert result["ruleId"] == "SEX601"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "leak"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("division.py")
+        assert location["region"] == {"startLine": 230, "startColumn": 9}
+        # ruleIndex points back into the driver inventory.
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "SEX601"
+
+    def test_results_sorted_and_deterministic(self):
+        first = Violation(path="a.py", line=1, column=1, code="SEX101", message="x")
+        second = Violation(path="b.py", line=2, column=1, code="SEX201", message="y")
+        forward = sarif_report(report_with(first, second))
+        backward = sarif_report(report_with(second, first))
+        assert json.dumps(forward, sort_keys=True) == json.dumps(
+            backward, sort_keys=True
+        )
+
+    def test_document_is_json_serializable(self):
+        violation = Violation(
+            path="src/x.py", line=1, column=1, code="SEX401", message="m",
+        )
+        payload = json.dumps(sarif_report(report_with(violation)))
+        assert json.loads(payload)["version"] == "2.1.0"

@@ -41,3 +41,24 @@ class TestStrictTypingGate:
             text=True,
         )
         assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestFlowFamilyWaiverBudget:
+    """The flow-sensitive families ship with ZERO in-tree waivers.
+
+    The sites the new rules convicted during development were fixed in
+    source (the division-step routing scan now discards on fault; the
+    base case loads through repro.core.inmemory), not waived.  Any
+    future waiver of these codes needs the same treatment.
+    """
+
+    FLOW_CODES = frozenset({"SEX211", "SEX311", "SEX312", "SEX601"})
+
+    def test_no_waivers_name_a_flow_sensitive_code(self):
+        report = run_analysis([str(SRC)])
+        offending = [
+            f"{w.path}:{w.line} waives {sorted(set(w.codes) & self.FLOW_CODES)}"
+            for w in report.waivers
+            if set(w.codes) & self.FLOW_CODES
+        ]
+        assert offending == []
