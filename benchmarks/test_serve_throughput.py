@@ -1,0 +1,160 @@
+"""Query-service throughput: sustained mixed-query load over HTTP.
+
+The economics the serve layer sells is "compute once, query many
+times": a published artifact answers structural queries from in-memory
+columns with zero graph I/O, so the service should sustain four-digit
+queries/second even on one core of plain stdlib ``http.server``.  This
+benchmark publishes one warm artifact, drives it with concurrent
+keep-alive clients over a mixed query workload, gates the sustained
+rate, and persists qps + latency percentiles to
+``benchmarks/results/BENCH_serve_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.client import HTTPConnection
+from typing import Dict, List
+
+from repro import BlockDevice, DiskGraph, semi_external_dfs
+from repro.graph import random_graph
+from repro.serve import ArtifactStore, ReproServer, ServeConfig, seal_result
+
+from conftest import RESULTS_DIR
+
+#: Sustained mixed-query throughput floor (queries/second).
+QPS_FLOOR = 1000.0
+
+#: Total queries across all client threads.
+TOTAL_QUERIES = 4000
+
+#: Concurrent keep-alive clients.
+CLIENTS = 4
+
+#: The served workload: one cheap point lookup per structural family.
+QUERY_MIX = (
+    "/v1/query/position?artifact=bench&node=37",
+    "/v1/query/ancestor?artifact=bench&u=0&v=99",
+    "/v1/query/scc?artifact=bench&node=11",
+    "/v1/query/reachable?artifact=bench&u=0&v=150",
+    "/v1/query/cycle?artifact=bench",
+    "/v1/query/order?artifact=bench&offset=0&limit=16",
+)
+
+
+def _publish_bench_artifact(root: str) -> None:
+    graph = random_graph(400, 3, seed=17)
+    with BlockDevice(block_elements=512) as device:
+        with ArtifactStore(root, device=device) as store:
+            disk = DiskGraph.from_digraph(device, graph)
+            memory = 3 * 400 + 64
+            result = semi_external_dfs(disk, memory)
+            artifact = seal_result(
+                disk, result, memory=memory, sources=(0,),
+            )
+            store.publish(artifact, "bench")
+
+
+def _drive(port: int, paths: List[str], latencies: List[float],
+           errors: List[str]) -> None:
+    connection = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        for path in paths:
+            started = time.perf_counter()
+            connection.request("GET", path)
+            response = connection.getresponse()
+            body = response.read()
+            latencies.append(time.perf_counter() - started)
+            if response.status != 200 or not body:
+                errors.append(f"{path}: HTTP {response.status}")
+    except Exception as error:  # surfaced by the main thread
+        errors.append(f"{path}: {error!r}")
+    finally:
+        connection.close()
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def test_serve_throughput(report_text, tmp_path):
+    root = str(tmp_path / "store")
+    _publish_bench_artifact(root)
+
+    config = ServeConfig(store_root=root, port=0, deadline_seconds=30.0)
+    server = ReproServer(config)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+
+    per_client: List[List[str]] = [[] for _ in range(CLIENTS)]
+    for i in range(TOTAL_QUERIES):
+        per_client[i % CLIENTS].append(QUERY_MIX[i % len(QUERY_MIX)])
+
+    latencies_per_client: List[List[float]] = [[] for _ in range(CLIENTS)]
+    errors: List[str] = []
+    try:
+        # warm the engine cache outside the timed window
+        warm = HTTPConnection("127.0.0.1", port, timeout=30)
+        warm.request("GET", QUERY_MIX[0])
+        warm.getresponse().read()
+        warm.close()
+
+        workers = [
+            threading.Thread(
+                target=_drive,
+                args=(port, per_client[i], latencies_per_client[i], errors),
+            )
+            for i in range(CLIENTS)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+        elapsed = time.perf_counter() - started
+    finally:
+        server.shutdown()
+        thread.join(timeout=5)
+        server.close()
+
+    assert not errors, f"{len(errors)} failed requests, first: {errors[0]}"
+    latencies = sorted(
+        value for bucket in latencies_per_client for value in bucket
+    )
+    assert len(latencies) == TOTAL_QUERIES
+    qps = TOTAL_QUERIES / elapsed
+    p50 = _percentile(latencies, 0.50) * 1000.0
+    p99 = _percentile(latencies, 0.99) * 1000.0
+
+    results: Dict[str, object] = {
+        "clients": CLIENTS,
+        "total_queries": TOTAL_QUERIES,
+        "elapsed_seconds": elapsed,
+        "qps": qps,
+        "qps_floor": QPS_FLOOR,
+        "p50_ms": p50,
+        "p99_ms": p99,
+        "query_mix": list(QUERY_MIX),
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_serve_throughput.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+
+    report_text("serve_throughput", "\n".join([
+        "serve: sustained mixed-query load, stdlib HTTP, keep-alive",
+        f"  {TOTAL_QUERIES} queries / {CLIENTS} clients "
+        f"in {elapsed:.2f}s = {qps:.0f} qps (floor {QPS_FLOOR:.0f})",
+        f"  latency p50 {p50:.2f} ms, p99 {p99:.2f} ms",
+    ]))
+
+    assert qps >= QPS_FLOOR, (
+        f"sustained only {qps:.0f} queries/sec "
+        f"(floor {QPS_FLOOR:.0f}; p50 {p50:.2f} ms, p99 {p99:.2f} ms)"
+    )

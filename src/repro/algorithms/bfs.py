@@ -16,22 +16,24 @@ kernel backends, block codecs, and block sizes, and the pass count is
 exactly ``depth(start) + 1`` — each pass settles one more BFS level, and
 the final pass proves the fixpoint.
 
-The BFS-tree is sealed through the same :mod:`repro.core.tree` /
-:mod:`repro.core.tree_io` machinery as the DFS checkpoints: a virtual
-root ``γ`` adopts the start node and every unreached node, each reached
-node hangs under its BFS parent, and the artifact is written to the
-run's device inside a ``checkpoint`` span so the write I/Os tile.
+The BFS-tree is sealed through the run's artifact store
+(:meth:`repro.serve.ArtifactStore.for_run`): a virtual root ``γ``
+adopts the start node and every unreached node, each reached node hangs
+under its BFS parent, and the manifest-bearing artifact is written to
+the run's device inside a ``checkpoint`` span so the write I/Os tile.
+``result.artifact_ref`` points at the published version directory.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from ..core.tree import SpanningTree
-from ..core.tree_io import save_tree
 from ..errors import ConvergenceError
 from ..graph.disk_graph import DiskGraph
 from ..obs import Tracer
+from ..serve.store import TREE_FILE, ArtifactStore
 from .base import BFSResult, RunContext, default_max_passes
 
 #: Level value marking an unreached node inside the kernel columns (the
@@ -181,7 +183,10 @@ def semi_external_bfs(
                 break
         tree = _build_bfs_tree(context, levels, parents, start)
         with context.tracer.span("checkpoint", nodes=node_count):
-            artifact = save_tree(graph.device, tree, name="bfs-tree")
+            ref = ArtifactStore.for_run(graph.device).publish_tree(
+                tree, "bfs-tree", kind="bfs-tree", algorithm="bfs",
+                node_count=node_count,
+            )
         result = context.finish_result(
             BFSResult, tree,
             order=_bfs_order(levels),
@@ -189,7 +194,8 @@ def semi_external_bfs(
                 None if level == UNREACHED else level for level in levels
             ],
         )
-        result.details["bfs_tree"] = artifact  # type: ignore[index]
+        result.artifact_ref = ref.path
+        result.details["bfs_tree"] = os.path.join(ref.path, TREE_FILE)  # type: ignore[index]
         return result
     finally:
         context.release()

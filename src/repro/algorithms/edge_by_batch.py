@@ -8,13 +8,14 @@ every pass even if a single forward-cross edge remains — the inefficiency
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 from ..core.tree import SpanningTree
-from ..core.tree_io import save_tree
 from ..errors import ConvergenceError
 from ..graph.disk_graph import DiskGraph
 from ..obs import Tracer
+from ..serve.store import TREE_FILE, ArtifactStore
 from .base import DFSResult, RunContext, default_max_passes, initial_star_tree
 from .restructure import restructure
 
@@ -46,14 +47,17 @@ def edge_by_batch(
             paper charges to SEMI-DFS.
         max_passes: cap on Restructure passes; defaults to ``2n + 16``.
         deadline_seconds: optional wall-clock limit (the paper's timeout).
-        checkpoint_every: save the spanning tree to the graph's device
-            every this many passes; runs at paper scale take hours, and a
-            checkpoint makes them resumable.  The latest checkpoint path
-            lands in ``DFSResult.details`` / on the
+        checkpoint_every: publish the spanning tree to the run's
+            artifact store (``<device>/artifacts``) every this many
+            passes; runs at paper scale take hours, and a checkpoint
+            makes them resumable.  The latest checkpoint's tree-blob
+            path lands in ``DFSResult.details`` / on the
             :class:`~repro.errors.ConvergenceError` (``checkpoint_path``)
-            when a cap interrupts the run.
+            when a cap interrupts the run, and the version directory in
+            ``DFSResult.artifact_ref``.
         initial_tree: resume from a tree loaded via
-            :func:`repro.core.load_tree` instead of the initial γ-star.
+            :func:`repro.core.load_tree` (or an artifact's tree) instead
+            of the initial γ-star.
         tracer: a :class:`~repro.obs.Tracer` to receive the run's span
             events (one ``restructure`` span per pass, ``checkpoint``
             spans), metrics, and per-pass progress heartbeats.
@@ -80,13 +84,18 @@ def edge_by_batch(
     stack_device = graph.device if use_external_stack else None
     limit = default_max_passes(graph.node_count) if max_passes is None else max_passes
     checkpoint_path: Optional[str] = None
+    checkpoint_ref: Optional[str] = None
 
     def take_checkpoint() -> None:
-        nonlocal checkpoint_path
+        nonlocal checkpoint_path, checkpoint_ref
         with context.tracer.span("checkpoint", passes=context.passes):
-            checkpoint_path = save_tree(
-                graph.device, tree, name="edge-by-batch-ckpt"
+            ref = ArtifactStore.for_run(graph.device).publish_tree(
+                tree, "edge-by-batch-ckpt", kind="checkpoint",
+                algorithm="edge-by-batch", node_count=graph.node_count,
+                details={"passes": context.passes},
             )
+            checkpoint_ref = ref.path
+            checkpoint_path = os.path.join(ref.path, TREE_FILE)
 
     try:
         while True:
@@ -127,6 +136,7 @@ def edge_by_batch(
                 result = context.finish(tree)
                 if checkpoint_path is not None:
                     result.details["checkpoint"] = checkpoint_path  # type: ignore[index]
+                    result.artifact_ref = checkpoint_ref
                 return result
             if context.passes >= limit:
                 error = ConvergenceError(

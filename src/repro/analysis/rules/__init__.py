@@ -9,7 +9,7 @@ hundreds digit:
 * ``SEX2xx`` — semi-external memory discipline;
 * ``SEX3xx`` — determinism;
 * ``SEX4xx`` — error hygiene;
-* ``SEX5xx`` — parallelism containment;
+* ``SEX5xx`` — containment (process pools, network listeners);
 * ``SEX6xx`` — flow-sensitive resource lifecycle.
 
 Codes ``SEX2xx``/``SEX3xx`` above 10 in the tens digit (``SEX211``,
@@ -26,6 +26,7 @@ from . import (
     memory_discipline,
     parallelism,
     resource_lifecycle,
+    serving,
 )
 from .base import (
     META_CODES,
@@ -51,4 +52,5 @@ __all__ = [
     "parallelism",
     "register",
     "resource_lifecycle",
+    "serving",
 ]

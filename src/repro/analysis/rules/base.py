@@ -52,6 +52,13 @@ SCAN_METHOD_NAMES: Tuple[str, ...] = ("scan", "scan_blocks", "scan_columns")
 #: by an ad-hoc pool elsewhere (the SEX5xx family).
 PARALLEL_LAYER_FILES: Tuple[str, ...] = ("repro/parallel.py",)
 
+#: Path prefixes of the serving layer.  Network listeners live in exactly
+#: one package so every served answer demonstrably comes from a sealed,
+#: checksummed artifact — a socket opened next to an algorithm could leak
+#: unsealed state or un-charged I/O out of the cost model (the SEX5xx
+#: containment family).
+SERVE_LAYER_PREFIXES: Tuple[str, ...] = ("repro/serve/",)
+
 #: The designated in-memory solver: the one module allowed to accumulate
 #: scan-derived adjacency into memory, because it runs only after the
 #: recursion has proved the part fits the budget (|V|+|E| ≤ memory).
@@ -140,6 +147,11 @@ def in_observability_layer(relpath: str) -> bool:
 def in_parallel_layer(relpath: str) -> bool:
     """Whether ``relpath`` may orchestrate worker processes."""
     return relpath in PARALLEL_LAYER_FILES
+
+
+def in_serve_layer(relpath: str) -> bool:
+    """Whether ``relpath`` may open network listeners/sockets."""
+    return relpath.startswith(SERVE_LAYER_PREFIXES)
 
 
 #: Registry of checkable rules, keyed by code (populated by ``register``).

@@ -19,8 +19,13 @@ from .components import (
 )
 from .cycles import find_cycle, has_cycle
 from .planarity import PlanarityReport, check_planarity, lr_planarity
-from .reachability import reachability_counts, reachable_set, reaches
-from .toposort import topological_order
+from .reachability import (
+    reachability_counts,
+    reachable_mask,
+    reachable_set,
+    reaches,
+)
+from .toposort import sealed_topological_order, topological_order
 
 __all__ = [
     "BipartitenessReport",
@@ -40,8 +45,10 @@ __all__ = [
     "has_cycle",
     "lr_planarity",
     "reachability_counts",
+    "reachable_mask",
     "reachable_set",
     "reaches",
+    "sealed_topological_order",
     "strongly_connected_components",
     "topological_order",
     "weakly_connected_components",

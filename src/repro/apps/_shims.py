@@ -1,0 +1,30 @@
+"""Deprecation plumbing for the graph-signature apps shims.
+
+PR 4 migrated loose keyword options to :class:`~repro.options.RunOptions`
+with a warn-once-per-name shim; this module applies the same pattern to
+the apps redesign: ``fn(graph, memory, ...)`` still works everywhere,
+but warns once per function name that ``fn(artifact, ...)`` answers the
+same question from a sealed artifact without recomputing DFS.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+#: Function names whose graph-signature deprecation already fired.
+_WARNED_GRAPH_API: Set[str] = set()
+
+
+def warn_graph_signature(name: str) -> None:
+    """Warn (once per process per name) about a graph-first apps call."""
+    if name in _WARNED_GRAPH_API:
+        return
+    _WARNED_GRAPH_API.add(name)
+    warnings.warn(
+        f"{name}(graph, ...) recomputes from the raw graph on every "
+        f"call; publish the run once (repro.serve.ArtifactStore) and "
+        f"call {name}(artifact, ...) to answer from the sealed tree",
+        DeprecationWarning,
+        stacklevel=4,
+    )

@@ -11,6 +11,10 @@ Commands:
 * ``toposort`` — semi-external topological sort of a DAG edge list.
 * ``scc`` — semi-external strongly connected components (Kosaraju).
 * ``bench`` — run one paper experiment and print its figure tables.
+* ``publish`` — run a DFS and seal it into a versioned artifact store.
+* ``serve`` — serve order/ancestor/toposort/SCC/reachability queries
+  over published artifacts via HTTP.
+* ``query`` — answer one query from a published artifact, no server.
 
 Examples::
 
@@ -19,23 +23,35 @@ Examples::
     python -m repro dfs --input graph.txt --algorithm divide-td \\
         --memory-ratio 0.4 --verify
     python -m repro bench --experiment exp2:power-law
+    python -m repro publish --input graph.txt --store ./artifacts \\
+        --name web --sources 0
+    python -m repro serve --store ./artifacts --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
 from typing import List, Optional
 
 from . import bench as bench_mod
 from .api import ALGORITHMS, semi_external_dfs
-from .apps import strongly_connected_components, topological_order
+from .apps import sealed_topological_order, strongly_connected_components
 from .core import verify_dfs_tree
 from .errors import ReproError
 from .graph import all_datasets, load_edge_list, write_edge_list
 from .graph.generators import power_law_graph_edges, random_graph_edges
 from .obs import JSONLSink, Tracer, render_profile
 from .options import RunOptions
+from .serve import (
+    ArtifactStore,
+    QueryEngine,
+    ReproServer,
+    ServeConfig,
+    seal_result,
+)
 from .storage import BlockDevice, FaultPlan
 from .storage.faults import FAULT_SEED_ENV_VAR
 
@@ -305,7 +321,7 @@ def _command_toposort(args: argparse.Namespace) -> int:
     ) as device:
         graph = load_edge_list(args.input, device, node_count=args.nodes)
         memory = _resolve_memory(args, graph.node_count, graph.edge_count)
-        order = topological_order(graph, memory, algorithm=args.algorithm)
+        order = sealed_topological_order(graph, memory, algorithm=args.algorithm)
         if args.output:
             # repro: allow[SEX101] user-facing result text, not modelled block I/O
             with open(args.output, "w", encoding="utf-8") as handle:
@@ -364,6 +380,88 @@ def _command_planarity(args: argparse.Namespace) -> int:
         print(f"{verdict}: {report.reason}")
         print(f"simple undirected edges: {report.simple_edge_count} ({mode})")
     return 0 if report.planar else 3
+
+
+def _command_publish(args: argparse.Namespace) -> int:
+    """Run a semi-external DFS and seal it into the artifact store."""
+    sources = (
+        [int(part) for part in args.sources.split(",") if part != ""]
+        if args.sources else []
+    )
+    with BlockDevice(
+        block_elements=args.block_size, kernel=args.kernel,
+        block_codec=args.block_codec,
+    ) as device:
+        graph = load_edge_list(args.input, device, node_count=args.nodes)
+        memory = _resolve_memory(args, graph.node_count, graph.edge_count)
+        options = RunOptions()
+        result = semi_external_dfs(
+            graph, memory, algorithm=args.algorithm, start=args.start,
+            options=options,
+        )
+        artifact = seal_result(
+            graph, result, memory=memory, sources=sources,
+            with_scc=not args.no_scc,
+            graph_digest=not args.no_digest,
+            options=options,
+        )
+        with ArtifactStore(args.store) as store:
+            ref = store.publish(artifact, args.name)
+        print(
+            f"published {ref} ({ref.path}) "
+            f"nodes={graph.node_count} edges={graph.edge_count} "
+            f"algorithm={result.algorithm}"
+        )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Serve queries over published artifacts until interrupted."""
+    config = ServeConfig(
+        store_root=args.store,
+        host=args.host,
+        port=args.port,
+        deadline_seconds=args.deadline_ms / 1000.0,
+        trace_path=args.trace_out,
+    )
+    server = ReproServer(config)
+    host, port = server.server_address[0], server.server_address[1]
+    names = server.store.names()
+    print(
+        f"serving {len(names)} artifact(s) from {args.store} "
+        f"on http://{host}:{port} (Ctrl-C to stop)"
+    )
+
+    def _stop(signum: int, frame: object) -> None:
+        # SIGTERM gets the same clean-shutdown path as Ctrl-C; background
+        # shells commonly leave SIGINT ignored, so supervisors and CI
+        # send TERM
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    """Answer one query from a published artifact (no server)."""
+    params = {}
+    for item in args.param or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(f"--param needs key=value, got {item!r}")
+        params[key] = value
+    with ArtifactStore(args.store) as store:
+        # repro: allow[SEX104] ArtifactStore.open resolves a sealed artifact by name; its payload reads flow through device.read_block
+        engine = QueryEngine(store.open(args.artifact))
+        answer = engine.execute(args.kind, params)
+    print(json.dumps(answer, indent=2, sort_keys=True))
+    return 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -462,6 +560,60 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser("bench", help="run one paper experiment")
     bench.add_argument("--experiment", required=True)
     bench.set_defaults(handler=_command_bench)
+
+    publish = commands.add_parser(
+        "publish",
+        help="run a DFS and seal it into a versioned artifact store",
+    )
+    _add_common_graph_arguments(publish)
+    publish.add_argument("--store", required=True,
+                         help="artifact store root directory")
+    publish.add_argument("--name", required=True,
+                         help="artifact name (re-publishing bumps the version)")
+    publish.add_argument("--algorithm", default="divide-td",
+                         choices=sorted(ALGORITHMS))
+    publish.add_argument("--start", type=int, default=None)
+    publish.add_argument(
+        "--sources", default="",
+        help="comma-separated node ids to pin exact reachability bitsets for",
+    )
+    publish.add_argument(
+        "--no-scc", action="store_true",
+        help="skip sealing SCC membership columns",
+    )
+    publish.add_argument(
+        "--no-digest", action="store_true",
+        help="skip the graph CRC32 digest (saves one edge scan)",
+    )
+    publish.set_defaults(handler=_command_publish)
+
+    serve = commands.add_parser(
+        "serve", help="serve queries over published artifacts via HTTP"
+    )
+    serve.add_argument("--store", required=True,
+                       help="artifact store root directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--deadline-ms", type=int, default=2000,
+                       help="default per-request deadline")
+    serve.add_argument("--trace-out", default=None,
+                       help="write one JSONL span event per request here")
+    serve.set_defaults(handler=_command_serve)
+
+    query = commands.add_parser(
+        "query", help="answer one query from a published artifact"
+    )
+    query.add_argument("--store", required=True,
+                       help="artifact store root directory")
+    query.add_argument("--artifact", required=True,
+                       help="artifact reference: name or name@vN")
+    query.add_argument("--kind", required=True,
+                       help="query kind (order, ancestor, toposort, scc, ...)")
+    query.add_argument("--param", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="query parameter (repeatable)")
+    query.set_defaults(handler=_command_query)
 
     return parser
 

@@ -82,3 +82,32 @@ class InvalidDivisionError(ReproError):
 
 class NotADAGError(ReproError):
     """Topological sort was requested for a graph that contains a cycle."""
+
+
+class ArtifactError(StorageError):
+    """Base class for sealed-artifact store failures (:mod:`repro.serve`)."""
+
+
+class ArtifactNotFound(ArtifactError):
+    """No artifact (or no such version) exists under the requested name."""
+
+
+class ArtifactIntegrityError(ArtifactError):
+    """An artifact's manifest or payload failed checksum/schema validation."""
+
+
+class QueryError(ReproError):
+    """A serve-layer query is malformed or cannot be answered.
+
+    Attributes:
+        code: stable machine-readable error code (kebab-case), mapped to
+            an HTTP status by :mod:`repro.serve.app`.
+    """
+
+    def __init__(self, message: str, code: str = "bad-query") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class DeadlineExceeded(ReproError):
+    """A serve-layer request ran past its per-request deadline."""

@@ -1,0 +1,49 @@
+"""SEX502 (serving containment): positive and negative fixture cases."""
+
+from __future__ import annotations
+
+
+class TestNetworkConfinement:
+    def test_http_import_flagged(self, check):
+        assert check("import http\n") == ["SEX502"]
+
+    def test_http_server_submodule_flagged(self, check):
+        assert check("import http.server\n") == ["SEX502"]
+
+    def test_socket_import_flagged(self, check):
+        assert check("import socket\n") == ["SEX502"]
+
+    def test_socketserver_from_import_flagged(self, check):
+        source = "from socketserver import ThreadingMixIn\n"
+        assert check(source) == ["SEX502"]
+
+    def test_http_server_from_import_flagged(self, check):
+        source = "from http.server import BaseHTTPRequestHandler\n"
+        assert check(source) == ["SEX502"]
+
+    def test_flagged_in_storage_layer_too(self, check):
+        assert check("import socket\n", "repro/storage/snippet.py") == ["SEX502"]
+
+    def test_allowed_inside_the_serving_layer(self, check):
+        source = """\
+        import socket
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+        import socketserver
+        """
+        assert check(source, "repro/serve/app.py") == []
+
+    def test_unrelated_imports_ok(self, check):
+        source = """\
+        import os
+        from dataclasses import dataclass
+        import httptools_like  # similar name, different module
+        from sockets_util import helper  # not the stdlib socket
+        """
+        assert check(source) == []
+
+    def test_waiver_applies(self, check):
+        source = """\
+        # repro: allow[SEX502] documented one-off probe for the test harness
+        import socket
+        """
+        assert check(source) == []

@@ -62,10 +62,17 @@ class TestSurvivablePlans:
             semi_external_bfs(disk_graph, 3 * 80 + 64)
             assert device.faults is not None and device.faults.injected > 0
             names = sorted(os.listdir(device.directory))
-            # exactly the sealed edge file and the sealed BFS-tree artifact
+            # exactly the sealed edge file and the run's artifact store
             assert len(names) == 2
             assert any(name.endswith(".edges") for name in names)
-            assert "bfs-tree.tree" in names
+            assert "artifacts" in names
+            version_dir = os.path.join(
+                device.directory, "artifacts", "bfs-tree", "v000001"
+            )
+            published = sorted(os.listdir(version_dir))
+            # atomic publish: only the manifest and the tree payload,
+            # no staging leftovers even under injected faults
+            assert published == ["manifest.json", "tree.tree"]
 
 
 class TestUnsurvivablePlans:

@@ -1,0 +1,62 @@
+"""Shared fixtures for the repro.serve test suite.
+
+``published`` hands tests a (store, ref) pair for a small mixed graph
+(one cycle, one self-loop-free DAG tail, two pinned sources), so query
+tests exercise every column without republishing per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BlockDevice, DiskGraph, semi_external_dfs
+from repro.graph.digraph import Digraph
+from repro.serve import ArtifactStore, seal_result
+
+
+def publish_graph(
+    store: ArtifactStore,
+    device: BlockDevice,
+    graph: Digraph,
+    name: str = "fixture",
+    *,
+    sources=(),
+    with_scc: bool = True,
+    graph_digest: bool = True,
+):
+    """DFS the graph, seal the run, publish it; returns the ref."""
+    disk = DiskGraph.from_digraph(device, graph)
+    memory = 3 * graph.node_count + 64
+    result = semi_external_dfs(disk, memory)
+    artifact = seal_result(
+        disk, result, memory=memory, sources=sources,
+        with_scc=with_scc, graph_digest=graph_digest,
+    )
+    return store.publish(artifact, name)
+
+
+@pytest.fixture
+def fault_seed() -> int:
+    """The CI-matrix fault seed (same contract as tests/faults)."""
+    import os
+
+    from repro.storage.faults import FAULT_SEED_ENV_VAR
+
+    return int(os.environ.get(FAULT_SEED_ENV_VAR, 7))
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ArtifactStore(str(tmp_path / "store"), block_elements=16) as s:
+        yield s
+
+
+@pytest.fixture
+def published(store, device):
+    """A published artifact over a mixed graph: cycle 0→1→2→0, tail
+    2→3→4, self-loop at 5, isolated node 6; sources 0 and 3 pinned."""
+    graph = Digraph.from_edges(
+        7, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (5, 5)]
+    )
+    ref = publish_graph(store, device, graph, "mixed", sources=(0, 3))
+    return store, ref
