@@ -185,6 +185,7 @@ class RunContext:
         tracer: Optional[Tracer] = None,
         workers: int = 1,
         block_codec: Optional[str] = None,
+        worker_boundary: str = "shm",
     ) -> None:
         minimum = TREE_NODE_COST * graph.node_count
         if memory < minimum:
@@ -194,10 +195,21 @@ class RunContext:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if worker_boundary not in ("shm", "pickle"):
+            raise ValueError(
+                f"worker_boundary must be 'shm' or 'pickle', got "
+                f"{worker_boundary!r}"
+            )
         self.graph = graph
         self.memory = memory
         self.algorithm = algorithm
         self.workers = workers
+        #: How bulk data crosses the pool's process line: ``"shm"`` moves
+        #: spanning trees as framed int32 columns in shared memory (with a
+        #: per-part pickle fallback on shm-hostile hosts), ``"pickle"``
+        #: forces the legacy fully-pickled payloads.  Irrelevant when
+        #: ``workers == 1``.
+        self.worker_boundary = worker_boundary
         self.budget = MemoryBudget(memory)
         self.allocator = VirtualNodeAllocator(graph.node_count)
         self.passes = 0

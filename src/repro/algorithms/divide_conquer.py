@@ -307,6 +307,7 @@ def _run(
     tracer: Optional[Tracer],
     workers: int,
     block_codec: Optional[str],
+    worker_boundary: str,
 ) -> DFSResult:
     global _TRACE_TRACER_WARNED
     if tracer is None and trace:
@@ -324,7 +325,7 @@ def _run(
         )
     context = RunContext(
         graph, memory, name, deadline_seconds, tracer, workers=workers,
-        block_codec=block_codec,
+        block_codec=block_codec, worker_boundary=worker_boundary,
     )
     try:
         tree = initial_star_tree(graph, context.allocator, start)
@@ -358,6 +359,7 @@ def divide_star_dfs(
     tracer: Optional[Tracer] = None,
     workers: int = 1,
     block_codec: Optional[str] = None,
+    worker_boundary: str = "shm",
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-Star division (Algorithm 3).
 
@@ -373,10 +375,15 @@ def divide_star_dfs(
         block_codec: edge-block codec for files written during the run
             (``"fixed32"`` / ``"delta-varint"``; default: the device's
             setting).  Changes block counts only, never the DFS tree.
+        worker_boundary: how pooled part trees cross the process line —
+            ``"shm"`` (default) for framed shared-memory columns,
+            ``"pickle"`` to force the legacy pickled payloads.  Results
+            and I/O charges are identical either way.
     """
     return _run(
         graph, memory, star_strategy, "divide-star", start, max_passes,
         deadline_seconds, trace, tracer, workers, block_codec,
+        worker_boundary,
     )
 
 
@@ -390,6 +397,7 @@ def divide_td_dfs(
     tracer: Optional[Tracer] = None,
     workers: int = 1,
     block_codec: Optional[str] = None,
+    worker_boundary: str = "shm",
 ) -> DFSResult:
     """DivideConquerDFS with the Divide-TD division (Algorithm 4).
 
@@ -405,8 +413,13 @@ def divide_td_dfs(
         block_codec: edge-block codec for files written during the run
             (``"fixed32"`` / ``"delta-varint"``; default: the device's
             setting).  Changes block counts only, never the DFS tree.
+        worker_boundary: how pooled part trees cross the process line —
+            ``"shm"`` (default) for framed shared-memory columns,
+            ``"pickle"`` to force the legacy pickled payloads.  Results
+            and I/O charges are identical either way.
     """
     return _run(
         graph, memory, td_strategy, "divide-td", start, max_passes,
         deadline_seconds, trace, tracer, workers, block_codec,
+        worker_boundary,
     )

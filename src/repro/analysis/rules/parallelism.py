@@ -10,6 +10,12 @@ leaf-phase tiling).  An ad-hoc ``ProcessPoolExecutor`` or
 classic way a "parallel speedup" silently stops being the same
 computation.  This rule confines process-spawning imports to the one
 module built to preserve the invariants.
+
+One carve-out: ``multiprocessing.shared_memory`` (and its
+``resource_tracker`` companion) spawns nothing — it is the OS-level
+allocation primitive behind the columnar worker boundary
+(:mod:`repro.storage.shm`), so the *storage layer* may import it.  The
+scheduler stays the only place allowed to create processes.
 """
 
 from __future__ import annotations
@@ -17,14 +23,37 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Tuple
 
-from .base import RawViolation, Rule, in_parallel_layer, register
+from .base import RawViolation, Rule, in_parallel_layer, in_storage_layer, register
 
 #: Top-level modules whose import means "this file may spawn processes".
 _PROCESS_MODULES: Tuple[str, ...] = ("multiprocessing", "concurrent")
 
+#: Non-spawning ``multiprocessing`` submodules the storage layer may use
+#: for the shared-memory column segments (repro/storage/shm.py).
+_SHM_SUBMODULES: Tuple[str, ...] = (
+    "multiprocessing.shared_memory",
+    "multiprocessing.resource_tracker",
+)
+
+_SHM_NAMES: Tuple[str, ...] = ("shared_memory", "resource_tracker")
+
 
 def _module_root(name: str) -> str:
     return name.split(".", 1)[0]
+
+
+def _storage_may_import(relpath: str, node: ast.AST) -> bool:
+    """Whether this import is the storage layer's shared-memory carve-out."""
+    if not in_storage_layer(relpath):
+        return False
+    if isinstance(node, ast.Import):
+        return all(alias.name in _SHM_SUBMODULES for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        if node.module in _SHM_SUBMODULES:
+            return True
+        if node.module == "multiprocessing":
+            return all(alias.name in _SHM_NAMES for alias in node.names)
+    return False
 
 
 @register
@@ -35,8 +64,9 @@ class ProcessPoolConfinementRule(Rule):
     name = "par-pool-outside-scheduler"
     summary = (
         "multiprocessing/concurrent.futures imports are confined to "
-        "repro/parallel.py; pooled work elsewhere would bypass part-order "
-        "reassembly, worker I/O absorption, and span replay"
+        "repro/parallel.py (shared_memory/resource_tracker additionally "
+        "allowed in repro/storage/); pooled work elsewhere would bypass "
+        "part-order reassembly, worker I/O absorption, and span replay"
     )
 
     def applies_to(self, relpath: str) -> bool:
@@ -45,6 +75,8 @@ class ProcessPoolConfinementRule(Rule):
     def check(self, module: ast.Module, relpath: str) -> Iterator[RawViolation]:
         for node in ast.walk(module):
             if isinstance(node, ast.Import):
+                if _storage_may_import(relpath, node):
+                    continue
                 for alias in node.names:
                     if _module_root(alias.name) in _PROCESS_MODULES:
                         yield self.violation(
@@ -55,6 +87,8 @@ class ProcessPoolConfinementRule(Rule):
                         )
             elif isinstance(node, ast.ImportFrom):
                 if node.module and _module_root(node.module) in _PROCESS_MODULES:
+                    if _storage_may_import(relpath, node):
+                        continue
                     yield self.violation(
                         node,
                         f"import from {node.module} outside the parallel "

@@ -42,8 +42,9 @@ BATCH_OPTIONS = BASE_OPTIONS | {
 }
 
 #: Options understood by the divide & conquer algorithms: the base set
-#: plus the process-pool width for the top-level parts (repro.parallel).
-DIVIDE_OPTIONS = BASE_OPTIONS | {"workers"}
+#: plus the process-pool width for the top-level parts and the worker
+#: boundary kind (repro.parallel).
+DIVIDE_OPTIONS = BASE_OPTIONS | {"workers", "worker_boundary"}
 
 #: Registered algorithms, as used throughout the benchmarks.  A
 #: ``Mapping[str, runner]`` whose keys include aliases (the paper's name

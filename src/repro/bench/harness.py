@@ -65,6 +65,9 @@ class CellResult:
     faults: int = 0  # injected/observed block faults during the run
     #: Process-pool width the cell ran with (1 = the sequential part loop).
     workers: int = 1
+    #: How many pool dispatches had memory-share floors exceeding ``M``
+    #: (the ``worker_memory_oversubscribed`` counter; 0 when sequential).
+    oversubscribed: int = 0
     #: Edge-block codec the cell's device wrote with.
     codec: str = "fixed32"
     #: Raw/stored edge-byte ratio over the run (1.0 under ``fixed32``).
@@ -150,6 +153,9 @@ def run_cell(
             kernel=result.kernel,
             retries=result.io.retries, faults=result.io.faults,
             workers=workers,
+            oversubscribed=getattr(result, "details", {}).get(
+                "worker_memory_oversubscribed", 0
+            ),
             codec=result.block_codec,
             compression_ratio=result.compression_ratio,
             blocks_per_scan=graph.edge_file.block_count,

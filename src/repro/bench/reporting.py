@@ -100,7 +100,10 @@ def render_csv(results: Sequence[CellResult]) -> str:
     ``ios`` is the logical charge (identical under any survivable fault
     plan); ``retries``/``faults`` report what the resilience layer
     absorbed; ``workers`` is the process-pool width the cell ran with
-    (1 = sequential).  ``codec`` / ``compression_ratio`` /
+    (1 = sequential) and ``oversubscribed`` how many pool dispatches had
+    memory-share floors exceeding the budget ``M`` (the
+    ``worker_memory_oversubscribed`` counter).  ``codec`` /
+    ``compression_ratio`` /
     ``blocks_per_scan`` describe the edge-block codec: which one wrote
     the cell's blocks, the raw/stored byte ratio it achieved, and how
     many sealed blocks one full input scan reads.  The trailing
@@ -114,8 +117,8 @@ def render_csv(results: Sequence[CellResult]) -> str:
     )
     lines = [
         "x,algorithm,time_seconds,ios,passes,divisions,nodes,edges,"
-        "retries,faults,dnf,kernel,workers,codec,compression_ratio,"
-        f"blocks_per_scan,{phase_headers}"
+        "retries,faults,dnf,kernel,workers,oversubscribed,codec,"
+        f"compression_ratio,blocks_per_scan,{phase_headers}"
     ]
     for cell in results:
         phases = ",".join(
@@ -127,7 +130,8 @@ def render_csv(results: Sequence[CellResult]) -> str:
             f"{cell.x},{cell.algorithm},{cell.time_seconds:.4f},{cell.ios},"
             f"{cell.passes},{cell.divisions},{cell.node_count},"
             f"{cell.edge_count},{cell.retries},{cell.faults},"
-            f"{int(cell.dnf)},{cell.kernel},{cell.workers},{cell.codec},"
+            f"{int(cell.dnf)},{cell.kernel},{cell.workers},"
+            f"{cell.oversubscribed},{cell.codec},"
             f"{cell.compression_ratio:.3f},{cell.blocks_per_scan},{phases}"
         )
     return "\n".join(lines)

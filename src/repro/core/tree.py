@@ -156,6 +156,51 @@ class SpanningTree:
         tree._min_key = dict.fromkeys(parent, 0)
         return tree
 
+    @classmethod
+    def from_preorder(
+        cls,
+        root: int,
+        nodes: Sequence[int],
+        parents: Sequence[int],
+        virtual_flags: Sequence[int],
+        no_parent: int = -1,
+    ) -> "SpanningTree":
+        """Build a tree from parallel preorder columns.
+
+        The columnar twin of the ``add_node`` + ``attach`` wire-format
+        loop: ``nodes`` lists every node in preorder, ``parents[i]`` is
+        the parent of ``nodes[i]`` (``no_parent`` for the root), and a
+        nonzero ``virtual_flags[i]`` marks a virtual node.  Because
+        preorder lists each sibling group in sibling order, appending
+        children per parent reproduces sibling keys 1..n exactly as the
+        attach loop would.  This is the constructor the shared-memory
+        worker boundary uses on both sides of the process line.
+
+        Raises:
+            InvalidGraphError: mismatched column lengths or duplicates.
+        """
+        if len(nodes) != len(parents) or len(nodes) != len(virtual_flags):
+            raise InvalidGraphError(
+                "preorder columns must have equal lengths, got "
+                f"{len(nodes)}/{len(parents)}/{len(virtual_flags)}"
+            )
+        parent_map: Dict[int, Optional[int]] = {}
+        children: Dict[int, List[int]] = {}
+        virtual: Set[int] = set()
+        for raw_node, raw_parent, flags in zip(nodes, parents, virtual_flags):
+            node = int(raw_node)
+            parent = int(raw_parent)
+            if node in parent_map:
+                raise InvalidGraphError(f"node {node} listed twice in preorder")
+            if parent == no_parent:
+                parent_map[node] = None
+            else:
+                parent_map[node] = parent
+                children.setdefault(parent, []).append(node)
+            if flags:
+                virtual.add(node)
+        return cls.from_structure(int(root), parent_map, children, virtual)
+
     def add_node(self, node: int, virtual: bool = False) -> None:
         """Register ``node`` as an isolated (detached) tree node."""
         if node in self.parent:

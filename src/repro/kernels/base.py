@@ -62,6 +62,23 @@ class Kernel(Protocol):
     def pack_edge_columns(self, u_col: Any, v_col: Any) -> bytes:
         """Interleave two int32 columns back into on-disk edge bytes."""
 
+    def pack_int_column(self, values: Any) -> bytes:
+        """Pack one int sequence into little-endian int32 bytes.
+
+        The single-column half of the edge codec, used by the framed
+        shared-memory segments at the worker boundary.  Raises
+        ``ValueError`` for values outside int32 range.
+        """
+
+    def int_column_from_buffer(self, buffer: Any, offset: int, count: int) -> Any:
+        """Read ``count`` little-endian int32 values starting ``offset``
+        *elements* (not bytes) into ``buffer``.
+
+        Returns the backend's native column; the numpy backend returns a
+        zero-copy view over ``buffer``, so callers must copy or consume
+        the result before releasing the underlying memory.
+        """
+
     def make_index(self, tree: "SpanningTree") -> Optional[Any]:
         """Build a classifier index, or ``None`` to decline the tree."""
 

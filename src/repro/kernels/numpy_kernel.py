@@ -105,6 +105,31 @@ class NumpyKernel:
         flat[1::2] = vs
         return flat.tobytes()
 
+    def pack_int_column(self, values: "npt.ArrayLike") -> bytes:
+        """Pack one int sequence into little-endian int32 bytes.
+
+        Raises:
+            ValueError: out-of-int32-range values.
+        """
+        try:
+            return self._as_int32(values).tobytes()
+        except ValueError as error:
+            if "edge endpoint" in str(error):
+                raise ValueError("column value out of int32 range") from None
+            raise
+
+    def int_column_from_buffer(
+        self, buffer: "npt.ArrayLike", offset: int, count: int
+    ) -> "npt.NDArray[np.int32]":
+        """Zero-copy int32 view of ``count`` values at element ``offset``.
+
+        The view aliases ``buffer`` — consume or copy it before the
+        underlying memory (e.g. a shared-memory segment) is released.
+        """
+        return np.frombuffer(
+            buffer, dtype=_EDGE_DTYPE, count=count, offset=offset * 4
+        )
+
     @staticmethod
     def _as_int32(column: "npt.ArrayLike") -> "npt.NDArray[np.int32]":
         arr = np.asarray(column)

@@ -96,6 +96,36 @@ class PythonKernel:
             flat.byteswap()
         return flat.tobytes()
 
+    def pack_int_column(self, values: Sequence[int]) -> bytes:
+        """Pack one int sequence into little-endian int32 bytes.
+
+        Raises:
+            ValueError: out-of-int32-range values.
+        """
+        try:
+            column = (
+                cast("array[int]", values)
+                if _is_i32_array(values)
+                else array(_TYPECODE, values)
+            )
+        except OverflowError:
+            raise ValueError("column value out of int32 range") from None
+        if _NEEDS_SWAP:
+            column = array(_TYPECODE, column.tobytes())  # don't swap caller's
+            column.byteswap()
+        return column.tobytes()
+
+    def int_column_from_buffer(
+        self, buffer: Union[bytes, bytearray, memoryview], offset: int, count: int
+    ) -> "array[int]":
+        """Copy ``count`` int32 values at element ``offset`` out of ``buffer``."""
+        view = memoryview(buffer)[offset * 4 : (offset + count) * 4]
+        column = array(_TYPECODE)
+        column.frombytes(view)
+        if _NEEDS_SWAP:
+            column.byteswap()
+        return column
+
     # -- classification ------------------------------------------------
     def make_index(self, tree: SpanningTree) -> Optional[_DictIndexClassifier]:
         """Build a classifier for :meth:`classify_slice` (never dense)."""

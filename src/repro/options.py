@@ -48,6 +48,12 @@ class RunOptions:
             to ``$REPRO_BLOCK_CODEC``, then ``fixed32``).  The codec
             changes block counts and bytes on disk only — the DFS tree
             and order are bit-identical across codecs.
+        worker_boundary: how pooled part trees cross the process line
+            (divide & conquer only) — ``"shm"`` for framed shared-memory
+            columns with a per-part pickle fallback, ``"pickle"`` to
+            force the legacy fully-pickled payloads.  ``None`` defers to
+            the algorithm's default (``"shm"``).  Results, DFS order,
+            and I/O charges are identical across boundaries.
 
     Fields left at their defaults are never forwarded, so a default
     value an algorithm does not understand (e.g. ``use_external_stack``
@@ -64,6 +70,7 @@ class RunOptions:
     tracer: Optional["Tracer"] = None
     workers: int = 1
     block_codec: Optional[str] = None
+    worker_boundary: Optional[str] = None
 
     def replace(self, **changes: object) -> "RunOptions":
         """A copy with the given fields changed (frozen-safe update)."""

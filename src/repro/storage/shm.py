@@ -1,0 +1,245 @@
+"""Shared-memory column segments: the zero-copy worker boundary.
+
+A :class:`ColumnSegment` holds framed little-endian int32 columns in one
+:class:`multiprocessing.shared_memory.SharedMemory` segment, mirroring
+the framed-column idea of :mod:`repro.serve.store`: a tiny self-
+describing header followed by the concatenated column data, so one
+columnar representation feeds kernels, pool workers, and artifacts.
+
+Layout (little-endian int32 words)::
+
+    MAGIC  column_count  count_0 .. count_{k-1}  data_0 .. data_{k-1}
+
+Lifecycle discipline (what makes ``/dev/shm`` leak-proof): segments are
+**parent-owned**.  The process-pool scheduler (:mod:`repro.parallel`)
+creates every segment *before* dispatch and unlinks every segment in a
+``finally`` after the pool drains — workers only :meth:`attach`, read or
+write columns, and :meth:`close` their mapping.  A worker that crashes,
+is cancelled on ``FIRST_EXCEPTION``, or dies to a deadline therefore
+cannot leak a segment: the parent's cleanup does not depend on the
+worker ever running.  Workers share the parent's ``resource_tracker``
+process (they are ``multiprocessing`` children), so their attach-time
+re-registration is absorbed by the tracker's set-based cache instead of
+triggering the separate-tracker double-unlink pitfall.
+
+Packing and unpacking go through the kernel layer
+(:meth:`~repro.kernels.base.Kernel.pack_int_column` /
+:meth:`~repro.kernels.base.Kernel.int_column_from_buffer`), so the numpy
+backend reads columns as zero-copy views over the shared buffer.
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import count
+from multiprocessing.shared_memory import SharedMemory
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import StorageError
+from ..kernels.base import Kernel
+
+#: Format marker ("COL1" as a little-endian int).
+SEGMENT_MAGIC = 0x434F4C31
+
+#: Prefix of every segment name this module creates — the handle the
+#: tests' leak checks (and CI's ``/dev/shm`` sweep) key on.
+SEGMENT_PREFIX = "repro-"
+
+_WORD_BYTES = 4
+_HEADER_WORDS = 2  # MAGIC + column_count
+
+#: Monotone per-process suffix so concurrent dispatches never collide.
+_sequence = count()
+
+#: Optional test hook: called with ``("create" | "unlink", name)`` for
+#: every segment this process allocates or destroys — the tracking
+#: allocator the lifecycle tests assert leak-freedom with.
+SegmentObserver = Callable[[str, str], None]
+_observer: Optional[SegmentObserver] = None
+
+
+def set_segment_observer(observer: Optional[SegmentObserver]) -> None:
+    """Install (or clear, with ``None``) the segment lifecycle observer."""
+    global _observer
+    _observer = observer
+
+
+def _notify(action: str, name: str) -> None:
+    if _observer is not None:
+        _observer(action, name)
+
+
+def words_for_columns(column_lengths: Sequence[int]) -> int:
+    """Capacity (int32 words) a segment needs for columns of these lengths."""
+    return _HEADER_WORDS + len(column_lengths) + sum(column_lengths)
+
+
+class ColumnSegment:
+    """Framed int32 columns in one shared-memory segment.
+
+    Construct with :meth:`create` (owner side — the only side allowed to
+    :meth:`unlink`) or :meth:`attach` (worker side).  A fresh segment is
+    zero-filled, so its magic word is invalid until the first
+    :meth:`write_columns` — reading an unwritten segment raises
+    :class:`~repro.errors.StorageError` instead of yielding garbage.
+    """
+
+    def __init__(self, segment: SharedMemory, owner: bool) -> None:
+        self._segment = segment
+        self._owner = owner
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        """The attachable segment name (``repro-<pid>-<seq>`` when created)."""
+        return self._segment.name
+
+    @property
+    def capacity_words(self) -> int:
+        """How many int32 words the segment can hold (header included)."""
+        return self._segment.size // _WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, capacity_words: int) -> "ColumnSegment":
+        """Allocate an owner-side segment able to hold ``capacity_words``.
+
+        Raises:
+            StorageError: undersized capacity, or the host cannot provide
+                shared memory (callers fall back to the pickle boundary).
+        """
+        if capacity_words < _HEADER_WORDS:
+            raise StorageError(
+                f"segment capacity must be >= {_HEADER_WORDS} words, "
+                f"got {capacity_words}"
+            )
+        pid = os.getpid()
+        while True:
+            name = f"{SEGMENT_PREFIX}{pid}-{next(_sequence)}"
+            try:
+                segment = SharedMemory(
+                    name=name, create=True, size=capacity_words * _WORD_BYTES
+                )
+            except FileExistsError:
+                continue  # stale name from a recycled pid; take the next
+            _notify("create", name)
+            return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ColumnSegment":
+        """Map an existing segment (worker side; never unlinks).
+
+        Attaching re-registers the segment name with the resource
+        tracker (CPython < 3.13 offers no way not to), but pool workers
+        are ``multiprocessing`` children and therefore share the
+        *parent's* tracker process — its cache is a set, so the
+        duplicate registration is absorbed and the parent's
+        :meth:`unlink` still unregisters exactly once.  Do not attach
+        from a process outside the owner's ``multiprocessing`` tree:
+        such a process runs its *own* tracker, which would unlink the
+        owner's segment when it exits.
+        """
+        return cls(SharedMemory(name=name), owner=False)
+
+    def close(self) -> None:
+        """Release this process's mapping (the segment itself survives)."""
+        self._segment.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side).  Safe to call repeatedly."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already destroyed
+            pass
+        _notify("unlink", self.name)
+
+    def destroy(self) -> None:
+        """Owner-side teardown: release the mapping, then unlink."""
+        self.close()
+        self.unlink()
+
+    # ------------------------------------------------------------------
+    # framed columns
+    # ------------------------------------------------------------------
+    def write_columns(
+        self, columns: Sequence[Sequence[int]], kernel: Kernel
+    ) -> None:
+        """Frame ``columns`` into the segment (header + packed data).
+
+        Raises:
+            StorageError: when the framed columns exceed the capacity the
+                owner allocated.
+        """
+        header: List[int] = [SEGMENT_MAGIC, len(columns)]
+        header.extend(len(column) for column in columns)
+        needed = len(header) + sum(len(column) for column in columns)
+        if needed > self.capacity_words:
+            raise StorageError(
+                f"segment {self.name} too small for its columns: need "
+                f"{needed} words, capacity {self.capacity_words}"
+            )
+        buf = self._segment.buf
+        offset = 0
+        for chunk in [header, *columns]:
+            packed = kernel.pack_int_column(chunk)
+            buf[offset : offset + len(packed)] = packed
+            offset += len(packed)
+
+    def read_columns(self, kernel: Kernel) -> List[Sequence[int]]:
+        """Decode the framed columns as backend-native int32 columns.
+
+        The returned columns may alias the segment's buffer (the numpy
+        backend returns zero-copy ``frombuffer`` views), so consume or
+        copy them before :meth:`close` — or use
+        :meth:`read_column_lists` for segment-independent copies.
+
+        Raises:
+            StorageError: bad magic (e.g. an unwritten segment) or a
+                header whose counts overrun the segment.
+        """
+        buf = self._segment.buf
+        words = self.capacity_words
+        head = kernel.int_column_from_buffer(buf, 0, _HEADER_WORDS)
+        magic, column_count = int(head[0]), int(head[1])
+        del head  # a zero-copy view would pin the buffer
+        if magic != SEGMENT_MAGIC:
+            raise StorageError(
+                f"segment {self.name} does not hold framed columns"
+            )
+        if column_count < 0 or _HEADER_WORDS + column_count > words:
+            raise StorageError(f"segment {self.name} header truncated")
+        counts_view = kernel.int_column_from_buffer(
+            buf, _HEADER_WORDS, column_count
+        )
+        counts = [int(value) for value in counts_view]
+        del counts_view
+        offset = _HEADER_WORDS + column_count
+        columns: List[Sequence[int]] = []
+        for length in counts:
+            if length < 0 or offset + length > words:
+                raise StorageError(f"segment {self.name} truncated")
+            columns.append(kernel.int_column_from_buffer(buf, offset, length))
+            offset += length
+        return columns
+
+    def read_column_lists(self, kernel: Kernel) -> List[List[int]]:
+        """Copy the framed columns out as plain int lists.
+
+        The safe-by-construction reader for callers about to close or
+        unlink the segment: nothing in the result aliases shared memory.
+        """
+        lists: List[List[int]] = []
+        for column in self.read_columns(kernel):
+            lists.append([int(value) for value in column])
+        return lists
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"ColumnSegment({self.name!r}, words={self.capacity_words}, {role})"
+        )

@@ -315,3 +315,46 @@ class TestDivisionOps:
         assert np_kernel.make_owner_index({}) is None
         # the python kernel is the universal fallback: never declines
         assert resolve_kernel("python").make_owner_index({10**7: 1}) == {10**7: 1}
+
+
+class TestIntColumnOps:
+    """pack_int_column / int_column_from_buffer — the shm segment codec."""
+
+    def test_round_trip(self, kernel):
+        values = [0, 1, -1, 2**31 - 1, -(2**31), 42]
+        packed = kernel.pack_int_column(values)
+        assert len(packed) == 4 * len(values)
+        column = kernel.int_column_from_buffer(packed, 0, len(values))
+        assert [int(v) for v in column] == values
+
+    def test_empty_column(self, kernel):
+        assert kernel.pack_int_column([]) == b""
+        assert list(kernel.int_column_from_buffer(b"", 0, 0)) == []
+
+    def test_offset_is_in_elements_not_bytes(self, kernel):
+        packed = kernel.pack_int_column([10, 20, 30, 40])
+        tail = kernel.int_column_from_buffer(packed, 2, 2)
+        assert [int(v) for v in tail] == [30, 40]
+
+    def test_bytes_are_little_endian_int32(self, kernel):
+        assert kernel.pack_int_column([1, 256]) == \
+            b"\x01\x00\x00\x00\x00\x01\x00\x00"
+
+    def test_out_of_range_value_rejected(self, kernel):
+        with pytest.raises(ValueError, match="int32"):
+            kernel.pack_int_column([2**31])
+        with pytest.raises(ValueError, match="int32"):
+            kernel.pack_int_column([-(2**31) - 1])
+
+    def test_packing_does_not_mutate_the_input(self, kernel):
+        values = [7, 8, 9]
+        kernel.pack_int_column(values)
+        assert values == [7, 8, 9]
+
+    @requires_numpy
+    @given(st.lists(int32s, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_backends_pack_identical_bytes(self, values):
+        py = resolve_kernel("python").pack_int_column(values)
+        np_bytes = resolve_kernel("numpy").pack_int_column(values)
+        assert py == np_bytes

@@ -1,0 +1,130 @@
+"""Unit tests for the shared-memory column segments (:mod:`repro.storage.shm`)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.kernels import available_backends, resolve_kernel
+from repro.storage.shm import (
+    SEGMENT_MAGIC,
+    SEGMENT_PREFIX,
+    ColumnSegment,
+    set_segment_observer,
+    words_for_columns,
+)
+
+
+@pytest.fixture(params=[pytest.param(name) for name in available_backends()])
+def kernel(request):
+    return resolve_kernel(request.param)
+
+
+@pytest.fixture
+def segment():
+    seg = ColumnSegment.create(64)
+    yield seg
+    seg.destroy()
+
+
+class TestCapacity:
+    def test_words_for_columns_counts_header_and_lengths(self):
+        # MAGIC + column_count + one length word per column + data
+        assert words_for_columns([]) == 2
+        assert words_for_columns([3]) == 2 + 1 + 3
+        assert words_for_columns([1, 4, 4, 4]) == 2 + 4 + 13
+
+    def test_create_rejects_headerless_capacity(self):
+        with pytest.raises(StorageError, match="capacity"):
+            ColumnSegment.create(1)
+
+    def test_created_names_carry_the_prefix(self, segment):
+        assert segment.name.startswith(SEGMENT_PREFIX)
+        assert segment.capacity_words == 64
+
+
+class TestFraming:
+    def test_round_trip(self, segment, kernel):
+        columns = [[5], [1, 2, 3], [], [-7, 2**31 - 1]]
+        segment.write_columns(columns, kernel)
+        assert segment.read_column_lists(kernel) == columns
+
+    def test_exact_fit(self, kernel):
+        seg = ColumnSegment.create(words_for_columns([2, 3]))
+        try:
+            seg.write_columns([[1, 2], [3, 4, 5]], kernel)
+            assert seg.read_column_lists(kernel) == [[1, 2], [3, 4, 5]]
+        finally:
+            seg.destroy()
+
+    def test_overflow_raises_before_writing(self, kernel):
+        seg = ColumnSegment.create(4)
+        try:
+            with pytest.raises(StorageError, match="too small"):
+                seg.write_columns([[1, 2, 3, 4, 5]], kernel)
+        finally:
+            seg.destroy()
+
+    def test_unwritten_segment_refuses_to_read(self, segment, kernel):
+        # fresh segments are zero-filled: the magic word cannot match
+        with pytest.raises(StorageError, match="framed columns"):
+            segment.read_columns(kernel)
+
+    def test_rewrite_replaces_the_frame(self, segment, kernel):
+        segment.write_columns([[1, 2, 3]], kernel)
+        segment.write_columns([[9], [8]], kernel)
+        assert segment.read_column_lists(kernel) == [[9], [8]]
+
+    def test_corrupt_count_detected(self, segment, kernel):
+        # header claims more columns than the segment could ever hold
+        segment.write_columns([[1]], kernel)
+        segment._segment.buf[4:8] = (10**6).to_bytes(4, "little")
+        with pytest.raises(StorageError, match="truncated"):
+            segment.read_columns(kernel)
+
+    def test_magic_word_value(self, segment, kernel):
+        segment.write_columns([], kernel)
+        head = bytes(segment._segment.buf[:4])
+        assert int.from_bytes(head, "little") == SEGMENT_MAGIC
+
+    def test_column_lists_survive_destroy(self, segment, kernel):
+        # read_column_lists copies: nothing aliases the shared buffer
+        segment.write_columns([[4, 5, 6]], kernel)
+        columns = segment.read_column_lists(kernel)
+        segment.destroy()
+        assert columns == [[4, 5, 6]]
+
+
+class TestAttachLifecycle:
+    def test_attach_reads_what_the_owner_wrote(self, segment, kernel):
+        segment.write_columns([[11, 22]], kernel)
+        attached = ColumnSegment.attach(segment.name)
+        try:
+            assert attached.read_column_lists(kernel) == [[11, 22]]
+        finally:
+            attached.close()
+
+    def test_attached_unlink_is_a_no_op(self, segment, kernel):
+        segment.write_columns([[1]], kernel)
+        attached = ColumnSegment.attach(segment.name)
+        attached.unlink()  # not the owner: must not destroy
+        attached.close()
+        again = ColumnSegment.attach(segment.name)
+        try:
+            assert again.read_column_lists(kernel) == [[1]]
+        finally:
+            again.close()
+
+    def test_owner_unlink_is_idempotent(self):
+        seg = ColumnSegment.create(8)
+        seg.close()
+        seg.unlink()
+        seg.unlink()
+
+    def test_observer_sees_create_and_unlink(self):
+        events = []
+        set_segment_observer(lambda action, name: events.append((action, name)))
+        try:
+            seg = ColumnSegment.create(8)
+            seg.destroy()
+        finally:
+            set_segment_observer(None)
+        assert events == [("create", seg.name), ("unlink", seg.name)]

@@ -4,14 +4,17 @@ The pool width defaults to 2 and can be forced from the environment
 (``REPRO_TEST_WORKERS``) so CI can run the whole suite at a fixed width.
 """
 
+import multiprocessing
 import os
 import pickle
 import random
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+import repro.parallel
 from repro import DiskGraph, Tracer
 from repro.algorithms import divide_star_dfs, divide_td_dfs
 from repro.algorithms.divide_conquer import star_strategy
@@ -22,6 +25,7 @@ from repro.graph.digraph import Digraph
 from repro.obs import SpanEvent, phase_totals
 from repro.parallel import PartOutcome, PartPayload, part_memory_shares
 from repro.storage.io_stats import IOSnapshot
+from repro.storage.shm import SEGMENT_PREFIX, set_segment_observer
 
 from .conftest import assert_valid_dfs_result
 
@@ -148,6 +152,77 @@ class TestPoolMatchesSequential:
         assert explicit.passes == default.passes
         assert "parallel_dispatches" not in explicit.details
 
+    @pytest.mark.parametrize("boundary", ["shm", "pickle"])
+    def test_pooled_ios_equal_sequential_under_both_boundaries(
+        self, device_factory, pool_graph, boundary
+    ):
+        """The logical-I/O regression gate for the columnar boundary.
+
+        Whatever crosses the process line — shared int32 columns or the
+        legacy pickle — the pooled run must charge *exactly* the block
+        transfers of the sequential loop; the boundary is pure transport.
+        """
+        seq_disk = DiskGraph.from_digraph(device_factory(64), pool_graph)
+        sequential = divide_star_dfs(seq_disk, POOL_MEMORY)
+
+        par_disk = DiskGraph.from_digraph(device_factory(64), pool_graph)
+        pooled = divide_star_dfs(
+            par_disk, POOL_MEMORY, workers=POOL, worker_boundary=boundary
+        )
+
+        assert pooled.details.get("parallel_dispatches", 0) >= 1
+        assert pooled.io == sequential.io
+        assert pooled.io.reads == sequential.io.reads
+        assert pooled.io.writes == sequential.io.writes
+        assert pooled.order == sequential.order
+        if boundary == "shm":
+            # shared memory worked end to end; no part fell back
+            assert pooled.details.get("worker_boundary_fallbacks", 0) == 0
+
+    def test_mapped_part_scan_charges_identical_ios(self, device_factory):
+        """The worker's mmap read path is invisible to logical I/O.
+
+        ``open_sealed(..., mapped=True)`` swaps buffered reads for a
+        read-only mapping, but every block still flows through
+        ``device.read_block`` — same edges, same charges, byte for byte.
+        """
+        from repro.storage import edge_file_from_edges
+        from repro.storage.edge_file import EdgeFile
+
+        device = device_factory(32)
+        edges = [(u, (u * 7 + 3) % 500) for u in range(500)]
+        sealed = edge_file_from_edges(device, edges)
+
+        before = device.stats.snapshot()
+        plain = EdgeFile.open_sealed(
+            device, sealed.path, sealed.edge_count, sealed.block_count
+        )
+        plain_edges = plain.read_all()
+        plain_cost = device.stats.snapshot() - before
+
+        before = device.stats.snapshot()
+        mapped = EdgeFile.open_sealed(
+            device, sealed.path, sealed.edge_count, sealed.block_count,
+            mapped=True,
+        )
+        mapped_edges = mapped.read_all()
+        mapped_cost = device.stats.snapshot() - before
+
+        assert mapped_edges == plain_edges == edges
+        assert mapped_cost == plain_cost
+        assert mapped_cost.reads == sealed.block_count
+
+    def test_mapped_empty_file_falls_back_to_buffered(self, device_factory):
+        from repro.storage import edge_file_from_edges
+        from repro.storage.edge_file import EdgeFile
+
+        device = device_factory(32)
+        sealed = edge_file_from_edges(device, [])
+        mapped = EdgeFile.open_sealed(
+            device, sealed.path, 0, 0, mapped=True
+        )
+        assert mapped.read_all() == []
+
 
 class TestSpanTiling:
     def test_replayed_worker_phases_tile_the_run_io(
@@ -229,6 +304,114 @@ class TestFailureCleanup:
                 disk, DENSE_MEMORY, deadline_seconds=0.0, workers=POOL
             )
         assert set(os.listdir(device.directory)) == files_before
+
+
+def _crash_worker(payload):
+    """Stand-in worker that dies without cleanup (not even atexit runs)."""
+    os._exit(3)
+
+
+def _shm_entries():
+    """Current ``/dev/shm`` entries carrying this package's prefix."""
+    try:
+        return {
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(SEGMENT_PREFIX)
+        }
+    except FileNotFoundError:  # non-tmpfs host; the ledger still covers us
+        return set()
+
+
+@pytest.fixture
+def segment_ledger():
+    """Tracking allocator: records every segment create/unlink in order."""
+    ledger = {"create": [], "unlink": []}
+
+    def observer(action, name):
+        ledger[action].append(name)
+
+    set_segment_observer(observer)
+    try:
+        yield ledger
+    finally:
+        set_segment_observer(None)
+
+
+def assert_segments_balanced(ledger):
+    """Every created segment was unlinked, and none survives on disk."""
+    created, unlinked = set(ledger["create"]), set(ledger["unlink"])
+    assert created == unlinked
+    assert not (_shm_entries() & created)
+
+
+class TestSegmentLifecycle:
+    """Shared-memory segments are parent-owned: no error path may leak.
+
+    The tracking allocator (:func:`repro.storage.shm.set_segment_observer`)
+    records every create/unlink in the parent — the only process allowed
+    to do either — so balance plus an empty ``/dev/shm`` sweep proves
+    leak-freedom without trusting worker cooperation.
+    """
+
+    def test_successful_pool_run_unlinks_every_segment(
+        self, device_factory, pool_graph, segment_ledger
+    ):
+        disk = DiskGraph.from_digraph(device_factory(64), pool_graph)
+        result = divide_star_dfs(disk, POOL_MEMORY, workers=POOL)
+        assert result.details.get("parallel_dispatches", 0) >= 1
+        # two segments per part (tree in, outcome out), all reclaimed
+        assert len(segment_ledger["create"]) >= 2
+        assert_segments_balanced(segment_ledger)
+
+    def test_pass_cap_failure_unlinks_every_segment(
+        self, device_factory, segment_ledger
+    ):
+        disk = DiskGraph.from_digraph(device_factory(64), dense_clusters())
+        with pytest.raises(ConvergenceError, match="restructure passes"):
+            divide_star_dfs(disk, DENSE_MEMORY, max_passes=2, workers=POOL)
+        assert len(segment_ledger["create"]) >= 2
+        assert_segments_balanced(segment_ledger)
+
+    def test_deadline_expiry_unlinks_every_segment(
+        self, device_factory, segment_ledger
+    ):
+        disk = DiskGraph.from_digraph(device_factory(64), dense_clusters())
+        with pytest.raises(ConvergenceError, match="deadline"):
+            divide_star_dfs(
+                disk, DENSE_MEMORY, deadline_seconds=0.0, workers=POOL
+            )
+        assert_segments_balanced(segment_ledger)
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="monkeypatched worker entry point needs fork inheritance",
+    )
+    def test_worker_crash_unlinks_every_segment(
+        self, device_factory, pool_graph, segment_ledger, monkeypatch
+    ):
+        """A worker dying mid-part (no exception, no cleanup) cannot leak.
+
+        ``os._exit`` skips every ``finally`` in the worker; the pool
+        surfaces :class:`BrokenProcessPool` and the parent's ``finally``
+        still unlinks both segments of every part.
+        """
+        monkeypatch.setattr(repro.parallel, "_run_part_worker", _crash_worker)
+        disk = DiskGraph.from_digraph(device_factory(64), pool_graph)
+        with pytest.raises(BrokenProcessPool):
+            divide_star_dfs(disk, POOL_MEMORY, workers=POOL)
+        assert len(segment_ledger["create"]) >= 2
+        assert_segments_balanced(segment_ledger)
+
+    def test_forced_pickle_boundary_creates_no_segments(
+        self, device_factory, pool_graph, segment_ledger
+    ):
+        disk = DiskGraph.from_digraph(device_factory(64), pool_graph)
+        result = divide_star_dfs(
+            disk, POOL_MEMORY, workers=POOL, worker_boundary="pickle"
+        )
+        assert result.details.get("parallel_dispatches", 0) >= 1
+        assert segment_ledger["create"] == []
+        assert segment_ledger["unlink"] == []
 
 
 def tree_fingerprint(tree):
